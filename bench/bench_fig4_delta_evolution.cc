@@ -1,0 +1,82 @@
+// Figure 4: evolution of the TD delta region under localized failures.
+// Regional(0.3, 0.05) and Regional(0.8, 0.05) with the failure region
+// {(0,0),(10,10)}: the fine-grained TD strategy grows the delta toward the
+// failure region only, while TD-Coarse grows it uniformly around the base.
+//
+// Output: an ASCII map of the 20x20 deployment ('#' = delta/multi-path
+// node, '.' = tributary/tree node, 'B' = base station; the failure region
+// is the lower-left quadrant) plus region-membership statistics.
+#include <cstdio>
+#include <memory>
+
+#include "agg/aggregates.h"
+#include "net/network.h"
+#include "td/tributary_delta_aggregator.h"
+#include "workload/scenario.h"
+
+using namespace td;
+
+namespace {
+
+void PrintMap(const Scenario& sc, const RegionState& region) {
+  // 40x20 character grid over the 20x20 field (2 chars per unit in x).
+  const int kW = 40, kH = 20;
+  std::vector<std::string> grid(kH, std::string(kW, ' '));
+  for (NodeId v = 0; v < sc.deployment.size(); ++v) {
+    if (!sc.tree.InTree(v)) continue;
+    const Point& p = sc.deployment.position(v);
+    int x = std::min(kW - 1, static_cast<int>(p.x / 20.0 * kW));
+    int y = std::min(kH - 1, static_cast<int>(p.y / 20.0 * kH));
+    char c = region.IsM(v) ? '#' : '.';
+    if (v == sc.base()) c = 'B';
+    grid[static_cast<size_t>(kH - 1 - y)][static_cast<size_t>(x)] = c;
+  }
+  for (const auto& row : grid) std::printf("  %s\n", row.c_str());
+}
+
+void RunCase(const Scenario& sc, double p_in, const char* label) {
+  Rect region_rect{{0, 0}, {10, 10}};
+  auto loss =
+      std::make_shared<RegionalLoss>(&sc.deployment, region_rect, p_in, 0.05);
+  Network net(&sc.deployment, &sc.connectivity, loss, 99);
+  CountAggregate agg;
+  TributaryDeltaAggregator<CountAggregate>::Options options;
+  options.adaptation.period = 10;
+  TributaryDeltaAggregator<CountAggregate> engine(
+      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
+      options);
+  for (uint32_t e = 0; e < 300; ++e) engine.RunEpoch(e);
+
+  size_t in_m = 0, in_total = 0, out_m = 0, out_total = 0;
+  for (NodeId v = 1; v < sc.deployment.size(); ++v) {
+    if (!sc.tree.InTree(v)) continue;
+    bool inside = region_rect.Contains(sc.deployment.position(v));
+    (inside ? in_total : out_total) += 1;
+    if (engine.region().IsM(v)) (inside ? in_m : out_m) += 1;
+  }
+  std::printf("%s after 300 epochs: delta size %zu\n", label,
+              engine.region().delta_size());
+  std::printf("  multi-path fraction inside failure region:  %.2f "
+              "(%zu/%zu)\n",
+              static_cast<double>(in_m) / in_total, in_m, in_total);
+  std::printf("  multi-path fraction outside failure region: %.2f "
+              "(%zu/%zu)\n\n",
+              static_cast<double>(out_m) / out_total, out_m, out_total);
+  PrintMap(sc, engine.region());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Scenario sc = MakeSyntheticScenario(42);
+  std::printf("Figure 4: TD delta region under localized failures\n");
+  std::printf("(failure region = lower-left quadrant {(0,0),(10,10)}; base "
+              "at (10,10))\n\n");
+  RunCase(sc, 0.3, "(a) TD & Regional(0.3, 0.05)");
+  RunCase(sc, 0.8, "(b) TD & Regional(0.8, 0.05)");
+  std::printf("Expected shape (paper): the delta (\"#\") concentrates in "
+              "and toward the failure\nquadrant, expanding further at the "
+              "higher loss rate.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 2 / Figure 5(a): RMS error of a Count query vs Global(p) loss,
+// for TAG, SD, TD-Coarse and TD, on the Synthetic scenario (600 sensors in
+// a 20x20 grid, base at (10,10), 90% contributing threshold).
+// Figure 5(b): the same under Regional(p, 0.05) (failure region
+// {(0,0),(10,10)}).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/table.h"
+
+using namespace td;
+using namespace td::bench;
+
+int main() {
+  Scenario sc = MakeSyntheticScenario(/*seed=*/42);
+  const std::vector<double> rates{0.0,  0.05, 0.1, 0.15, 0.2, 0.25,
+                                  0.3,  0.4,  0.5, 0.75, 1.0};
+  // TD's fine-grained strategy converges over tens of adaptation rounds on
+  // a 600-node network (Section 7.3 reports ~50 epochs at the paper's
+  // scale); measure steady state after a generous warm-up.
+  const uint32_t kWarmup = 150;
+  const uint32_t kMeasure = 60;  // paper collects 100 epochs
+
+  std::printf("Figure 5(a): RMS error of Count vs Global(p) loss rate\n");
+  std::printf("(600 sensors, 20x20, threshold 90%%; first rows reproduce "
+              "Figure 2's zoomed range)\n\n");
+  Table ta({"loss_p", "TAG", "SD", "TD-Coarse", "TD"});
+  for (double p : rates) {
+    auto loss = std::make_shared<GlobalLoss>(p);
+    std::vector<std::string> row{Table::Num(p, 2)};
+    for (Scheme s :
+         {Scheme::kTag, Scheme::kSd, Scheme::kTdCoarse, Scheme::kTd}) {
+      // Pure schemes need no convergence warmup; keep seeds aligned.
+      uint32_t warmup = (s == Scheme::kTag || s == Scheme::kSd) ? 0 : kWarmup;
+      auto r = RunCountScheme(sc, s, loss, warmup, kMeasure, 1000 + 7, 5);
+      row.push_back(Table::Num(r.rms, 3));
+    }
+    ta.AddRow(std::move(row));
+  }
+  ta.PrintAligned(std::cout);
+
+  std::printf("\nFigure 5(b): RMS error of Count vs Regional(p, 0.05)\n\n");
+  Table tb({"loss_p", "TAG", "SD", "TD-Coarse", "TD"});
+  Rect region{{0, 0}, {10, 10}};
+  for (double p : rates) {
+    auto loss =
+        std::make_shared<RegionalLoss>(&sc.deployment, region, p, 0.05);
+    std::vector<std::string> row{Table::Num(p, 2)};
+    for (Scheme s :
+         {Scheme::kTag, Scheme::kSd, Scheme::kTdCoarse, Scheme::kTd}) {
+      uint32_t warmup = (s == Scheme::kTag || s == Scheme::kSd) ? 0 : kWarmup;
+      auto r = RunCountScheme(sc, s, loss, warmup, kMeasure, 2000 + 7, 5);
+      row.push_back(Table::Num(r.rms, 3));
+    }
+    tb.AddRow(std::move(row));
+  }
+  tb.PrintAligned(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper): TAG lowest at p=0, rising steeply; SD "
+      "nearly flat near its ~0.12\napproximation error; TD-Coarse/TD no "
+      "worse than min(TAG, SD) with extra gains at low p.\n");
+  return 0;
+}

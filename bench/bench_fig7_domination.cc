@@ -1,0 +1,75 @@
+// Figure 7: domination factor of the aggregation tree, our Section 6.1.3
+// construction vs the standard TAG construction.
+// (a) vs sensor density (20x20 area, density 0.2 .. 1.6);
+// (b) vs deployment area width (height 20, density 1, width 10 .. 100).
+#include <cstdio>
+#include <iostream>
+
+#include "topology/domination.h"
+#include "topology/tree_builder.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
+
+using namespace td;
+
+namespace {
+
+struct Pair {
+  double ours;
+  double tag;
+};
+
+// Average domination factors over a few seeds for one geometry.
+Pair Measure(size_t sensors, double width, double height) {
+  RunningStat ours, tag;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Deployment dep = MakeRandomDeployment(sensors, width, height,
+                                          Point{width / 2, height / 2}, &rng);
+    Connectivity conn =
+        Connectivity::FromRadioRange(dep, kSyntheticRadioRange);
+    Rings rings = Rings::Build(conn, dep.base());
+    Rng t1(seed * 11);
+    Tree opt = BuildOptimizedTree(conn, rings, &t1);
+    Rng t2(seed * 13);
+    Tree tg = BuildTagTree(conn, rings, &t2);
+    ours.Add(DominationFactor(ComputeHeightHistogram(opt)));
+    tag.Add(DominationFactor(ComputeHeightHistogram(tg)));
+  }
+  return Pair{ours.mean(), tag.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7(a): domination factor vs density (20x20 area, 5 "
+              "seeds averaged)\n\n");
+  Table ta({"density", "sensors", "our_tree_d", "tag_tree_d"});
+  for (double density = 0.2; density <= 1.61; density += 0.2) {
+    size_t sensors = static_cast<size_t>(density * 400.0);
+    Pair d = Measure(sensors, 20.0, 20.0);
+    ta.AddRow({Table::Num(density, 1), Table::Int((long long)sensors),
+               Table::Num(d.ours, 2), Table::Num(d.tag, 2)});
+  }
+  ta.PrintAligned(std::cout);
+
+  std::printf("\nFigure 7(b): domination factor vs deployment width "
+              "(height 20, density 1)\n\n");
+  Table tb({"width", "sensors", "our_tree_d", "tag_tree_d"});
+  for (double width = 10.0; width <= 100.1; width += 10.0) {
+    size_t sensors = static_cast<size_t>(width * 20.0);
+    Pair d = Measure(sensors, width, 20.0);
+    tb.AddRow({Table::Num(width, 0), Table::Int((long long)sensors),
+               Table::Num(d.ours, 2), Table::Num(d.tag, 2)});
+  }
+  tb.PrintAligned(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper): our construction dominates the TAG tree "
+      "throughout; the\nadvantage matters most where the factor is low "
+      "(sparse or narrow deployments).\nLabData reference point: the "
+      "paper's lab tree has domination factor 2.25.\n");
+  return 0;
+}

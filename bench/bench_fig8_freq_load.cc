@@ -1,0 +1,98 @@
+// Figure 8: average and maximum per-node communication load (number of
+// 32-bit counters transmitted) of the tree frequent-items algorithms under
+// no message loss, with error margin eps = 0.1%:
+//   Min Max-load [13], Min Total-load (ours), Hybrid (ours),
+//   Quantiles-based [8].
+// Datasets: LabData light readings, and the adversarial synthetic streams
+// where no item occurs at two nodes and items are uniform within a stream.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "freq/precision_gradient.h"
+#include "freq/tree_freq.h"
+#include "topology/domination.h"
+#include "util/table.h"
+#include "workload/labdata.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
+
+using namespace td;
+
+namespace {
+
+void RunDataset(const char* label, const Scenario& sc,
+                const ItemSource& items, double eps, Table* table) {
+  std::vector<int> heights = sc.tree.ComputeHeights();
+  int h = heights[sc.base()];
+  double d = DominationFactor(ComputeHeightHistogram(sc.tree));
+  if (d <= 1.05) d = 1.1;  // Lemma 3 needs d > 1
+
+  MinMaxLoadGradient minmax(eps, h);
+  MinTotalLoadGradient mintotal(eps, d);
+  HybridGradient hybrid(eps, d, h);
+
+  LoadReport r_minmax = MeasureTreeFreqLoad(sc.tree, items, minmax);
+  LoadReport r_mintotal = MeasureTreeFreqLoad(sc.tree, items, mintotal);
+  LoadReport r_hybrid = MeasureTreeFreqLoad(sc.tree, items, hybrid);
+  // Quantiles-based: GK summaries with the uniform gradient (footnote 5).
+  LoadReport r_quant = MeasureTreeQuantilesLoad(sc.tree, items, minmax);
+
+  auto add = [&](const char* alg, const LoadReport& r) {
+    table->AddRow({label, alg, Table::Num(r.average, 1),
+                   Table::Int(static_cast<long long>(r.max)),
+                   Table::Int(static_cast<long long>(r.total))});
+  };
+  add("Min Max-load", r_minmax);
+  add("Min Total-load", r_mintotal);
+  add("Hybrid", r_hybrid);
+  add("Quantiles-based", r_quant);
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 0.001;  // 0.1% error margin, as in Section 7.4
+  Table t({"dataset", "algorithm", "avg_load", "max_load", "total_words"});
+
+  // LabData: fine-grained light values (raw 10-bit readings as items).
+  {
+    Scenario sc = MakeLabScenario(42);
+    ItemSource items(sc.deployment.size());
+    for (NodeId v = 1; v <= kLabSensors; ++v) {
+      for (uint32_t e = 0; e < 20000; ++e) {
+        items.Add(v, LabLightReading(v, e));  // raw value = item
+      }
+    }
+    std::printf("Figure 8 (LabData): domination factor d = %.2f, tree "
+                "height %d, N = %llu readings\n",
+                DominationFactor(ComputeHeightHistogram(sc.tree)),
+                sc.tree.ComputeHeights()[sc.base()],
+                static_cast<unsigned long long>(items.TotalOccurrences()));
+    RunDataset("LabData", sc, items, eps, &t);
+  }
+
+  // Synthetic: disjoint uniform streams over the same 54-node tree.
+  {
+    Scenario sc = MakeLabScenario(42);
+    ItemSource items(sc.deployment.size());
+    Rng rng(7);
+    // Near-distinct items (counts ~4): the adversarial case where
+    // communication is dominated by how fast the gradient's decrement
+    // accumulates -- Min Total-load's front-loaded increments prune these
+    // singletons levels earlier than Min Max-load's uniform ones.
+    FillDisjointUniformStreams(&items, /*universe_per_node=*/500,
+                               /*stream_length=*/2000, &rng);
+    RunDataset("Synthetic", sc, items, eps, &t);
+  }
+
+  std::printf("\n");
+  t.PrintAligned(std::cout);
+  std::printf(
+      "\nExpected shape (paper, log-scale): Min Total-load ~= Min Max-load "
+      "on real data with\nHybrid slightly better than both; Quantiles-based "
+      "far worse (entry count tracks 1/eps\nregardless of skew). On the "
+      "synthetic no-shared-items streams Min Total-load sends\nabout half "
+      "of Min Max-load's total.\n");
+  return 0;
+}

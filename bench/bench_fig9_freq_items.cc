@@ -1,0 +1,144 @@
+// Figure 9: % false negatives in the reported frequent items vs Global(p)
+// loss, for TAG (tree algorithm), SD (our multi-path algorithm) and TD
+// (the combined algorithm), on LabData items with support s = 1% and error
+// margin eps = 0.1%.
+// (a) no retransmissions; (b) tree nodes retransmit twice.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "agg/multipath_aggregator.h"
+#include "agg/tree_aggregator.h"
+#include "freq/freq_aggregate.h"
+#include "net/network.h"
+#include "td/tributary_delta_aggregator.h"
+#include "util/table.h"
+#include "workload/labdata.h"
+#include "workload/scenario.h"
+
+using namespace td;
+
+namespace {
+
+constexpr double kSupport = 0.01;  // s = 1%
+constexpr double kEps = 0.001;     // eps = 0.1%
+
+struct FnFp {
+  double fn = 0.0;
+  double fp = 0.0;
+};
+
+FnFp Score(const FreqResult& result, const ItemSource& items) {
+  auto truth = items.ItemsAboveFraction(kSupport);
+  auto reported =
+      ReportFrequent(result.counts, result.total, kSupport, kEps);
+  std::set<Item> reported_set(reported.begin(), reported.end());
+  size_t fn = 0;
+  for (Item u : truth) fn += reported_set.count(u) == 0;
+  std::set<Item> truth_set(truth.begin(), truth.end());
+  size_t fp = 0;
+  for (Item u : reported) fp += truth_set.count(u) == 0;
+  FnFp out;
+  out.fn = truth.empty() ? 0.0 : 100.0 * fn / truth.size();
+  out.fp = reported.empty() ? 0.0 : 100.0 * fp / reported.size();
+  return out;
+}
+
+MultipathFreqParams MpParams(double eps, uint64_t n_upper) {
+  MultipathFreqParams p;
+  p.eps = eps;
+  p.eta = 2.0;
+  p.n_upper = n_upper;
+  // 32 bitmaps per item counter (~14% relative sd): the accuracy knob that
+  // drives both false negatives and false positives near the support
+  // threshold. This is also why a multi-path partial result costs ~3x the
+  // TinyDB messages of a tree partial (Section 7.4.3).
+  p.item_bitmaps = 32;
+  p.seed = 777;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Scenario sc = MakeLabScenario(42);
+  ItemSource items(sc.deployment.size());
+  FillLabItemStreams(&items, /*epochs_per_node=*/5000);
+  uint64_t n_upper = items.TotalOccurrences() * 2;
+
+  // TAG / TD tree part budget eps_a and multi-path budget eps_b with
+  // eps_a + eps_b = eps (Section 6.3).
+  auto gradient_full = std::make_shared<MinTotalLoadGradient>(kEps, 2.25);
+  auto gradient_half =
+      std::make_shared<MinTotalLoadGradient>(kEps / 2, 2.25);
+  FrequentItemsAggregate agg_tree(&items, &sc.tree, gradient_full,
+                                  MpParams(kEps, n_upper));
+  FrequentItemsAggregate agg_mp(&items, &sc.tree, gradient_full,
+                                MpParams(kEps, n_upper));
+  FrequentItemsAggregate agg_td(&items, &sc.tree, gradient_half,
+                                MpParams(kEps / 2, n_upper));
+
+  const std::vector<double> rates{0.0, 0.1, 0.2, 0.3, 0.4,
+                                  0.5, 0.6, 0.7, 0.85, 1.0};
+  for (int retries : {0, 2}) {
+    std::printf("Figure 9(%c): %% false negatives vs Global(p)%s\n",
+                retries == 0 ? 'a' : 'b',
+                retries == 0 ? "" : " (tree nodes retransmit twice)");
+    std::printf("(LabData items, s = 1%%, eps = 0.1%%; false positives "
+                "reported for reference)\n\n");
+    Table t({"loss_p", "TAG_fn%", "SD_fn%", "TD_fn%", "TAG_fp%", "SD_fp%",
+             "TD_fp%"});
+    for (double p : rates) {
+      auto loss = std::make_shared<GlobalLoss>(p);
+      const int kTrials = 5;
+      FnFp tag, sd, td;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        uint64_t seed = 5000 + 97 * static_cast<uint64_t>(trial);
+        {
+          Network net(&sc.deployment, &sc.connectivity, loss, seed);
+          TreeAggregator<FrequentItemsAggregate>::Options o;
+          o.extra_retransmissions = retries;
+          TreeAggregator<FrequentItemsAggregate> eng(&sc.tree, &net,
+                                                     &agg_tree, o);
+          auto r = Score(eng.RunEpoch(trial).result, items);
+          tag.fn += r.fn / kTrials;
+          tag.fp += r.fp / kTrials;
+        }
+        {
+          Network net(&sc.deployment, &sc.connectivity, loss, seed);
+          MultipathAggregator<FrequentItemsAggregate> eng(&sc.rings, &net,
+                                                          &agg_mp);
+          auto r = Score(eng.RunEpoch(trial).result, items);
+          sd.fn += r.fn / kTrials;
+          sd.fp += r.fp / kTrials;
+        }
+        {
+          Network net(&sc.deployment, &sc.connectivity, loss, seed);
+          TributaryDeltaAggregator<FrequentItemsAggregate>::Options o;
+          o.adaptation.period = 3;
+          o.tree_extra_retransmissions = retries;
+          TributaryDeltaAggregator<FrequentItemsAggregate> eng(
+              &sc.tree, &sc.rings, &net, &agg_td,
+              std::make_unique<TdFinePolicy>(), o);
+          for (uint32_t e = 0; e < 20; ++e) eng.RunEpoch(e);  // converge
+          auto r = Score(eng.RunEpoch(20 + trial).result, items);
+          td.fn += r.fn / kTrials;
+          td.fp += r.fp / kTrials;
+        }
+      }
+      t.AddRow({Table::Num(p, 2), Table::Num(tag.fn, 1), Table::Num(sd.fn, 1),
+                Table::Num(td.fn, 1), Table::Num(tag.fp, 1),
+                Table::Num(sd.fp, 1), Table::Num(td.fp, 1)});
+    }
+    t.PrintAligned(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): TAG's false negatives climb steeply with "
+      "loss (subtree drops\nstarve item counts); SD stays much flatter; TD "
+      "tracks the best of the two.\nRetransmission flattens TAG "
+      "substantially but SD/TD still win beyond ~50%% loss.\nFalse "
+      "positives stay small (<3%% at zero loss) and shrink with loss.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) for the core primitives: sketch
+// operations, summary merging, GK compression, topology construction and a
+// full simulated epoch. These bound the simulator's throughput, not any
+// paper figure.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "agg/aggregates.h"
+#include "agg/multipath_aggregator.h"
+#include "agg/tree_aggregator.h"
+#include "freq/gk_summary.h"
+#include "freq/precision_gradient.h"
+#include "freq/summary.h"
+#include "net/network.h"
+#include "sketch/fm_sketch.h"
+#include "sketch/kmv_sketch.h"
+#include "sketch/rle.h"
+#include "td/tributary_delta_aggregator.h"
+#include "workload/scenario.h"
+
+namespace td {
+namespace {
+
+void BM_FmAddKey(benchmark::State& state) {
+  FmSketch s(40, 1);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    s.AddKey(k++);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FmAddKey);
+
+void BM_FmAddValue(benchmark::State& state) {
+  FmSketch s(40, 1);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    s.AddValue(k++, static_cast<uint64_t>(state.range(0)));
+  }
+}
+BENCHMARK(BM_FmAddValue)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_FmMerge(benchmark::State& state) {
+  FmSketch a(40, 1), b(40, 1);
+  for (uint64_t k = 0; k < 1000; ++k) b.AddKey(k);
+  for (auto _ : state) {
+    a.Merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FmMerge);
+
+void BM_FmEstimate(benchmark::State& state) {
+  FmSketch s(40, 1);
+  for (uint64_t k = 0; k < 1000; ++k) s.AddKey(k);
+  for (auto _ : state) benchmark::DoNotOptimize(s.Estimate());
+}
+BENCHMARK(BM_FmEstimate);
+
+void BM_BankRleEncode(benchmark::State& state) {
+  FmSketch s(40, 1);
+  for (uint64_t k = 0; k < 1000; ++k) s.AddKey(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeBankRle(s.bitmaps()));
+  }
+}
+BENCHMARK(BM_BankRleEncode);
+
+void BM_KmvAddKey(benchmark::State& state) {
+  KmvSketch s(static_cast<size_t>(state.range(0)), 1);
+  uint64_t k = 0;
+  for (auto _ : state) s.AddKey(k++);
+}
+BENCHMARK(BM_KmvAddKey)->Arg(64)->Arg(1024);
+
+void BM_SummaryMergePrune(benchmark::State& state) {
+  ItemCounts a, b;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    a[rng.NextBounded(500)] += 1 + rng.NextBounded(20);
+    b[rng.NextBounded(500)] += 1 + rng.NextBounded(20);
+  }
+  Summary sb = LocalSummary(b);
+  MinTotalLoadGradient g(0.01, 2.25);
+  for (auto _ : state) {
+    Summary s = LocalSummary(a);
+    MergeSummaries(&s, sb);
+    PruneSummary(&s, g, 3);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SummaryMergePrune);
+
+void BM_GkMergeCompress(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> va, vb;
+  for (int i = 0; i < 1000; ++i) {
+    va.push_back(rng.Uniform(0, 1000));
+    vb.push_back(rng.Uniform(0, 1000));
+  }
+  GkSummary b = GkSummary::FromValues(vb);
+  b.Compress(10.0);
+  for (auto _ : state) {
+    GkSummary s = GkSummary::FromValues(va);
+    s.Compress(10.0);
+    s.Merge(b);
+    s.Compress(10.0);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_GkMergeCompress);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    Scenario sc = MakeSyntheticScenario(7, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(sc);
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(150)->Arg(600);
+
+void BM_TreeEpoch(benchmark::State& state) {
+  Scenario sc = MakeSyntheticScenario(7, 600);
+  CountAggregate agg;
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.2), 1);
+  TreeAggregator<CountAggregate> eng(&sc.tree, &net, &agg);
+  uint32_t e = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+}
+BENCHMARK(BM_TreeEpoch);
+
+void BM_MultipathEpoch(benchmark::State& state) {
+  Scenario sc = MakeSyntheticScenario(7, 600);
+  CountAggregate agg;
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.2), 1);
+  MultipathAggregator<CountAggregate> eng(&sc.rings, &net, &agg);
+  uint32_t e = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+}
+BENCHMARK(BM_MultipathEpoch);
+
+void BM_TributaryDeltaEpoch(benchmark::State& state) {
+  Scenario sc = MakeSyntheticScenario(7, 600);
+  CountAggregate agg;
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.2), 1);
+  TributaryDeltaAggregator<CountAggregate> eng(
+      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>());
+  uint32_t e = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+}
+BENCHMARK(BM_TributaryDeltaEpoch);
+
+}  // namespace
+}  // namespace td
+
+BENCHMARK_MAIN();

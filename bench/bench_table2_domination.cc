@@ -1,0 +1,50 @@
+// Table 2: the worked 2-dominating tree example -- the paper's tree Te
+// (h(i) = 37, 10, 6, 1) against the regular binary tree T2 of height 4
+// (h(i) = 8, 4, 2, 1) -- plus the measured domination factor of our LabData
+// reconstruction's aggregation tree (Section 7.4.1 reports 2.25).
+#include <cstdio>
+#include <iostream>
+
+#include "topology/domination.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+using namespace td;
+
+int main() {
+  HeightHistogram te = HistogramFromCounts({37, 10, 6, 1});
+  HeightHistogram t2 = HistogramFromCounts({8, 4, 2, 1});
+
+  std::printf("Table 2: example 2-dominating tree\n\n");
+  Table t({"tree", "h(1)", "h(2)", "h(3)", "h(4)", "H(1)", "H(2)", "H(3)",
+           "H(4)", "2-dominating", "factor"});
+  auto add = [&](const char* name, const HeightHistogram& h) {
+    t.AddRow({name, Table::Int(static_cast<long long>(h.count[1])),
+              Table::Int(static_cast<long long>(h.count[2])),
+              Table::Int(static_cast<long long>(h.count[3])),
+              Table::Int(static_cast<long long>(h.count[4])),
+              Table::Num(h.CumulativeFraction(1), 3),
+              Table::Num(h.CumulativeFraction(2), 3),
+              Table::Num(h.CumulativeFraction(3), 3),
+              Table::Num(h.CumulativeFraction(4), 3),
+              IsDDominating(h, 2.0) ? "yes" : "no",
+              Table::Num(DominationFactor(h), 2)});
+  };
+  add("Te (paper example)", te);
+  add("T2 (regular, d=2)", t2);
+  t.PrintAligned(std::cout);
+
+  std::printf("\nNote: under the literal Definition (H(i) >= 1 - d^-i) Te's "
+              "domination factor computes\nto %.2f; the paper's narrative "
+              "says 2.0 at 0.05 granularity. The 2-dominating claim\nitself "
+              "(what Lemma 3 needs) checks out for both trees. See "
+              "EXPERIMENTS.md.\n\n",
+              DominationFactor(te));
+
+  Scenario lab = MakeLabScenario(42);
+  HeightHistogram lab_hist = ComputeHeightHistogram(lab.tree);
+  std::printf("LabData reconstruction: aggregation tree domination factor = "
+              "%.2f (paper: 2.25)\n",
+              DominationFactor(lab_hist));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the series the corresponding paper figure reports,
+// as an aligned table (and the same rows re-plot directly as CSV via
+// Table::PrintCsv if needed). Absolute numbers depend on the simulator
+// substrate; EXPERIMENTS.md records paper-vs-measured for each figure.
+#ifndef TD_BENCH_BENCH_UTIL_H_
+#define TD_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "agg/multipath_aggregator.h"
+#include "agg/tree_aggregator.h"
+#include "net/network.h"
+#include "td/tributary_delta_aggregator.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+namespace td {
+namespace bench {
+
+enum class Scheme { kTag, kSd, kTdCoarse, kTd };
+
+inline const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kTag:
+      return "TAG";
+    case Scheme::kSd:
+      return "SD";
+    case Scheme::kTdCoarse:
+      return "TD-Coarse";
+    case Scheme::kTd:
+      return "TD";
+  }
+  return "?";
+}
+
+struct RunResult {
+  std::vector<double> estimates;        // per measured epoch
+  std::vector<double> contributing;     // ground-truth fraction
+  double rms = 0.0;                     // vs provided truth
+};
+
+/// Runs `scheme` for warmup+measure epochs on a Count query and returns the
+/// measured-epoch estimates. TD schemes adapt every `adapt_period` epochs.
+inline RunResult RunCountScheme(const Scenario& sc, Scheme scheme,
+                                std::shared_ptr<LossModel> loss,
+                                uint32_t warmup, uint32_t measure,
+                                uint64_t seed, uint32_t adapt_period = 10) {
+  CountAggregate agg;
+  Network net(&sc.deployment, &sc.connectivity, std::move(loss), seed);
+  RunResult out;
+  double truth = static_cast<double>(sc.tree.num_in_tree() - 1);
+  auto record = [&](double est, size_t contrib) {
+    out.estimates.push_back(est);
+    out.contributing.push_back(static_cast<double>(contrib) / truth);
+  };
+  if (scheme == Scheme::kTag) {
+    TreeAggregator<CountAggregate> eng(&sc.tree, &net, &agg);
+    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
+    for (uint32_t e = warmup; e < warmup + measure; ++e) {
+      auto o = eng.RunEpoch(e);
+      record(o.result, o.true_contributing);
+    }
+  } else if (scheme == Scheme::kSd) {
+    MultipathAggregator<CountAggregate> eng(&sc.rings, &net, &agg);
+    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
+    for (uint32_t e = warmup; e < warmup + measure; ++e) {
+      auto o = eng.RunEpoch(e);
+      record(o.result, o.true_contributing);
+    }
+  } else {
+    TributaryDeltaAggregator<CountAggregate>::Options options;
+    options.adaptation.period = adapt_period;
+    std::unique_ptr<AdaptationPolicy> policy;
+    if (scheme == Scheme::kTdCoarse) {
+      policy = std::make_unique<TdCoarsePolicy>();
+    } else {
+      policy = std::make_unique<TdFinePolicy>();
+    }
+    TributaryDeltaAggregator<CountAggregate> eng(
+        &sc.tree, &sc.rings, &net, &agg, std::move(policy), options);
+    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
+    for (uint32_t e = warmup; e < warmup + measure; ++e) {
+      auto o = eng.RunEpoch(e);
+      record(o.result, o.true_contributing);
+    }
+  }
+  out.rms = RelativeRmsError(out.estimates, truth);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace td
+
+#endif  // TD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Chemical-sensing consensus: the frequent-items motivation from Section 5
+// ("particularly in the context of biological and chemical sensors, where
+// individual readings can be highly unreliable and it is necessary to get a
+// consensus measure").
+//
+// 200 sensors report detected compound signatures; most readings are noise,
+// but sensors near a plume repeatedly detect the same two signatures. The
+// query reports every signature whose network-wide frequency exceeds 1%,
+// via the Tributary-Delta frequent-items algorithm under 25% message loss.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "freq/freq_aggregate.h"
+#include "net/network.h"
+#include "td/tributary_delta_aggregator.h"
+#include "workload/scenario.h"
+
+using namespace td;
+
+int main() {
+  Scenario sc = MakeSyntheticScenario(/*seed=*/11, /*num_sensors=*/200);
+
+  // Build readings: every sensor logs 300 detections; noise signatures are
+  // drawn from a large universe, but sensors inside the plume (a disc near
+  // (5,15)) log compounds 0xACID and 0xBA5E most of the time.
+  constexpr Item kAcid = 0xAC1D, kBase = 0xBA5E;
+  ItemSource items(sc.deployment.size());
+  Rng rng(5);
+  size_t plume_sensors = 0;
+  for (NodeId v = 1; v < sc.deployment.size(); ++v) {
+    const Point& p = sc.deployment.position(v);
+    bool in_plume = Distance(p, Point{5.0, 15.0}) < 5.0;
+    plume_sensors += in_plume;
+    for (int i = 0; i < 300; ++i) {
+      if (in_plume && rng.Bernoulli(0.6)) {
+        items.Add(v, rng.Bernoulli(0.5) ? kAcid : kBase);
+      } else {
+        items.Add(v, 1000 + rng.NextBounded(5000));  // noise signature
+      }
+    }
+  }
+  std::printf("chemical alert: %zu sensors (%zu in plume), %llu detections\n",
+              sc.num_sensors(), plume_sensors,
+              static_cast<unsigned long long>(items.TotalOccurrences()));
+
+  // Frequent-items aggregate: eps = 0.2% split evenly between the tree
+  // (Min Total-load gradient) and multi-path (Algorithm 2) parts.
+  const double kSupport = 0.01, kEps = 0.002;
+  auto gradient = std::make_shared<MinTotalLoadGradient>(kEps / 2, 2.0);
+  MultipathFreqParams mp;
+  mp.eps = kEps / 2;
+  mp.n_upper = items.TotalOccurrences() * 2;
+  mp.item_bitmaps = 16;
+  FrequentItemsAggregate agg(&items, &sc.tree, gradient, mp);
+
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.25), 31);
+  TributaryDeltaAggregator<FrequentItemsAggregate>::Options options;
+  options.adaptation.period = 5;
+  TributaryDeltaAggregator<FrequentItemsAggregate> engine(
+      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
+      options);
+
+  // Converge the delta, then take a consensus reading.
+  for (uint32_t e = 0; e < 40; ++e) engine.RunEpoch(e);
+  auto out = engine.RunEpoch(40);
+  auto alerts = ReportFrequent(out.result.counts, out.result.total, kSupport,
+                               kEps);
+
+  std::printf("\nconsensus signatures above %.0f%% support (N~=%.0f):\n",
+              kSupport * 100, out.result.total);
+  for (Item u : alerts) {
+    std::printf("  signature 0x%04llX  estimated count %.0f\n",
+                static_cast<unsigned long long>(u), out.result.counts.at(u));
+  }
+  auto truth = items.ItemsAboveFraction(kSupport);
+  std::set<Item> alert_set(alerts.begin(), alerts.end());
+  size_t hits = 0;
+  for (Item u : truth) hits += alert_set.count(u);
+  std::printf("\nground truth frequent signatures: %zu; detected: %zu "
+              "(signatures 0x%04X and 0x%04X\nare the plume)\n",
+              truth.size(), hits, static_cast<unsigned>(kAcid),
+              static_cast<unsigned>(kBase));
+  std::printf("noise signatures never accumulate 1%% support, so the alert "
+              "fires only on the\nconsensus compounds despite 25%% message "
+              "loss.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Topology explorer: prints the rings, the TAG tree vs the Section 6.1.3
+// domination-optimized tree, and their height histograms / domination
+// factors side by side for a synthetic field. A console-level companion to
+// Figure 7.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "topology/domination.h"
+#include "topology/tree_builder.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
+
+using namespace td;
+
+namespace {
+
+void PrintRingMap(const Scenario& sc) {
+  const int kW = 40, kH = 20;
+  std::vector<std::string> grid(kH, std::string(kW, ' '));
+  for (NodeId v = 0; v < sc.deployment.size(); ++v) {
+    int lv = sc.rings.level(v);
+    const Point& p = sc.deployment.position(v);
+    int x = std::min(kW - 1, static_cast<int>(p.x / 20.0 * kW));
+    int y = std::min(kH - 1, static_cast<int>(p.y / 20.0 * kH));
+    char c = lv < 0 ? '?' : (lv == 0 ? 'B' : static_cast<char>('0' + lv % 10));
+    grid[static_cast<size_t>(kH - 1 - y)][static_cast<size_t>(x)] = c;
+  }
+  std::printf("ring levels ('B' = base station):\n");
+  for (const auto& row : grid) std::printf("  %s\n", row.c_str());
+}
+
+void Describe(const char* name, const Tree& tree) {
+  HeightHistogram hist = ComputeHeightHistogram(tree);
+  std::printf("%s: %zu nodes, domination factor %.2f\n", name, hist.total,
+              DominationFactor(hist));
+  std::printf("  h(i): ");
+  for (int i = 1; i <= hist.max_height(); ++i) {
+    std::printf("%zu ", hist.count[static_cast<size_t>(i)]);
+  }
+  std::printf("\n  H(i): ");
+  for (int i = 1; i <= hist.max_height(); ++i) {
+    std::printf("%.3f ", hist.CumulativeFraction(i));
+  }
+  std::printf("\n  satisfies Lemma 2 with d=2: %s\n",
+              SatisfiesLemma2(tree, 2) ? "yes" : "no");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sensors = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 300;
+  uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 9;
+  Scenario sc = MakeSyntheticScenario(seed, sensors);
+
+  std::printf("topology explorer: %zu sensors, seed %llu, radio range %.1f\n",
+              sensors, static_cast<unsigned long long>(seed),
+              kSyntheticRadioRange);
+  std::printf("connectivity: average degree %.1f, %zu links, %d rings\n\n",
+              sc.connectivity.AverageDegree(), sc.connectivity.num_links(),
+              sc.rings.max_level());
+  PrintRingMap(sc);
+  std::printf("\n");
+  Describe("TAG tree (standard construction)", sc.tag_tree);
+  std::printf("\n");
+  Describe("our tree (strict-level parents + opportunistic switching)",
+           sc.tree);
+  std::printf("\nA larger domination factor shrinks the Min Total-load "
+              "constant (1 + 2/(sqrt(d)-1))\n(Lemma 3); the optimized "
+              "construction exists to buy exactly that.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The Aggregate concept: what an aggregate must provide to be computed in
+// the Tributary-Delta framework (Section 5 of the paper).
+//
+// An aggregate supplies three things:
+//   1. a *tree algorithm*  -- partial results combined up an aggregation
+//      tree (MakeTreePartial / MergeTree / FinalizeTreePartial);
+//   2. a *multi-path algorithm* in the synopsis-diffusion SG/SF/SE form
+//      (MakeSynopsis / Fuse / EvaluateSynopsis);
+//   3. a *conversion function* (Convert) that turns a tree partial result
+//      into a synopsis the multi-path scheme equates with the same inputs,
+//      so a multi-path node can consume tributary outputs obliviously.
+//
+// Engines (TreeAggregator, MultipathAggregator, TributaryDeltaAggregator)
+// are templated over this concept.
+#ifndef TD_AGG_AGGREGATE_H_
+#define TD_AGG_AGGREGATE_H_
+
+#include <concepts>
+#include <cstdint>
+#include <cstddef>
+
+#include "net/deployment.h"
+
+namespace td {
+
+/// Requirements on an aggregate type usable with the aggregation engines.
+///
+/// Semantics the engines rely on:
+///  * MergeTree must be exact over disjoint input sets (tree inputs never
+///    overlap thanks to the tree structure).
+///  * Fuse must be order-insensitive AND duplicate-insensitive: fusing the
+///    same synopsis twice must give the same result as fusing it once.
+///  * Convert(p) must be a synopsis that EvaluateSynopsis maps to (an
+///    approximation of) EvaluateTree(p), valid to fuse with any synopsis
+///    whose underlying inputs are disjoint from p's.
+///  * FinalizeTreePartial(p, node) is called once per node after all child
+///    partials are merged and before the partial is transmitted (or
+///    evaluated, at the root). Aggregates with per-node behavior (e.g. the
+///    frequent-items precision gradient, which prunes by node height) hook
+///    in here; simple aggregates make it a no-op.
+template <typename A>
+concept Aggregate = requires(const A a, typename A::TreePartial p,
+                             typename A::Synopsis s, NodeId node,
+                             uint32_t epoch) {
+  typename A::TreePartial;
+  typename A::Synopsis;
+  typename A::Result;
+  { a.MakeTreePartial(node, epoch) } -> std::same_as<typename A::TreePartial>;
+  { a.EmptyTreePartial() } -> std::same_as<typename A::TreePartial>;
+  { a.MergeTree(&p, p) };
+  { a.FinalizeTreePartial(&p, node) };
+  { a.MakeSynopsis(node, epoch) } -> std::same_as<typename A::Synopsis>;
+  { a.EmptySynopsis() } -> std::same_as<typename A::Synopsis>;
+  { a.Fuse(&s, s) };
+  { a.Convert(p) } -> std::same_as<typename A::Synopsis>;
+  { a.EvaluateTree(p) } -> std::same_as<typename A::Result>;
+  { a.EvaluateSynopsis(s) } -> std::same_as<typename A::Result>;
+  { a.EvaluateCombined(p, s) } -> std::same_as<typename A::Result>;
+  { a.TreeBytes(p) } -> std::convertible_to<size_t>;
+  { a.SynopsisBytes(s) } -> std::convertible_to<size_t>;
+};
+
+/// Per-message fixed overhead charged by the engines (sender id, epoch,
+/// piggybacked contributing count).
+inline constexpr size_t kMessageHeaderBytes = 8;
+
+}  // namespace td
+
+#endif  // TD_AGG_AGGREGATE_H_

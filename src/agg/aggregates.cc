@@ -1,0 +1,302 @@
+#include "agg/aggregates.h"
+
+#include "util/check.h"
+
+namespace td {
+
+// ---------------------------------------------------------------- Count --
+
+CountAggregate::CountAggregate(int sketch_bitmaps, uint64_t seed)
+    : sketch_bitmaps_(sketch_bitmaps), seed_(seed) {}
+
+CountAggregate::TreePartial CountAggregate::MakeTreePartial(
+    NodeId node, uint32_t /*epoch*/) const {
+  return TreePartial{1, node};
+}
+
+void CountAggregate::MergeTree(TreePartial* into,
+                               const TreePartial& from) const {
+  into->value += from.value;
+}
+
+void CountAggregate::FinalizeTreePartial(TreePartial* p, NodeId node) const {
+  p->origin = node;
+}
+
+CountAggregate::Synopsis CountAggregate::MakeSynopsis(
+    NodeId node, uint32_t /*epoch*/) const {
+  FmSketch s(sketch_bitmaps_, seed_);
+  s.AddKey(node);
+  return s;
+}
+
+CountAggregate::Synopsis CountAggregate::EmptySynopsis() const {
+  return FmSketch(sketch_bitmaps_, seed_);
+}
+
+void CountAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  into->Merge(from);
+}
+
+CountAggregate::Synopsis CountAggregate::Convert(const TreePartial& p) const {
+  // The subtree rooted at p.origin is unique (path correctness), so keying
+  // the c simulated insertions by the origin id cannot collide with any
+  // other converted subtree or with per-node AddKey insertions.
+  TD_CHECK_NE(p.origin, CountingPartial::kNoOrigin);
+  FmSketch s(sketch_bitmaps_, seed_);
+  s.AddValue(p.origin, p.value);
+  return s;
+}
+
+CountAggregate::Result CountAggregate::EvaluateTree(
+    const TreePartial& p) const {
+  return static_cast<double>(p.value);
+}
+
+CountAggregate::Result CountAggregate::EvaluateSynopsis(
+    const Synopsis& s) const {
+  return s.Estimate();
+}
+
+CountAggregate::Result CountAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  // Tree inputs that reached the base station directly stay exact; only the
+  // delta region's portion carries sketch approximation error.
+  return static_cast<double>(p.value) + s.Estimate();
+}
+
+size_t CountAggregate::TreeBytes(const TreePartial& /*p*/) const {
+  return sizeof(uint32_t);
+}
+
+size_t CountAggregate::SynopsisBytes(const Synopsis& s) const {
+  return s.EncodedBytes();
+}
+
+// ------------------------------------------------------------------ Sum --
+
+SumAggregate::SumAggregate(UintReadingFn reading, int sketch_bitmaps,
+                           uint64_t seed)
+    : reading_(std::move(reading)),
+      sketch_bitmaps_(sketch_bitmaps),
+      seed_(seed) {
+  TD_CHECK(reading_ != nullptr);
+}
+
+SumAggregate::TreePartial SumAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  return TreePartial{reading_(node, epoch), node};
+}
+
+void SumAggregate::MergeTree(TreePartial* into, const TreePartial& from) const {
+  into->value += from.value;
+}
+
+void SumAggregate::FinalizeTreePartial(TreePartial* p, NodeId node) const {
+  p->origin = node;
+}
+
+SumAggregate::Synopsis SumAggregate::MakeSynopsis(NodeId node,
+                                                  uint32_t epoch) const {
+  FmSketch s(sketch_bitmaps_, seed_);
+  s.AddValue(node, reading_(node, epoch));
+  return s;
+}
+
+SumAggregate::Synopsis SumAggregate::EmptySynopsis() const {
+  return FmSketch(sketch_bitmaps_, seed_);
+}
+
+void SumAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  into->Merge(from);
+}
+
+SumAggregate::Synopsis SumAggregate::Convert(const TreePartial& p) const {
+  TD_CHECK_NE(p.origin, CountingPartial::kNoOrigin);
+  FmSketch s(sketch_bitmaps_, seed_);
+  s.AddValue(p.origin, p.value);
+  return s;
+}
+
+SumAggregate::Result SumAggregate::EvaluateTree(const TreePartial& p) const {
+  return static_cast<double>(p.value);
+}
+
+SumAggregate::Result SumAggregate::EvaluateSynopsis(const Synopsis& s) const {
+  return s.Estimate();
+}
+
+SumAggregate::Result SumAggregate::EvaluateCombined(const TreePartial& p,
+                                                    const Synopsis& s) const {
+  return static_cast<double>(p.value) + s.Estimate();
+}
+
+size_t SumAggregate::TreeBytes(const TreePartial& /*p*/) const {
+  return sizeof(uint32_t);
+}
+
+size_t SumAggregate::SynopsisBytes(const Synopsis& s) const {
+  return s.EncodedBytes();
+}
+
+// ------------------------------------------------------------- Extremum --
+
+ExtremumAggregate::ExtremumAggregate(Kind kind, RealReadingFn reading)
+    : kind_(kind), reading_(std::move(reading)) {
+  TD_CHECK(reading_ != nullptr);
+}
+
+ExtremumAggregate::TreePartial ExtremumAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  return reading_(node, epoch);
+}
+
+void ExtremumAggregate::MergeTree(TreePartial* into,
+                                  const TreePartial& from) const {
+  *into = Pick(*into, from);
+}
+
+ExtremumAggregate::Synopsis ExtremumAggregate::MakeSynopsis(
+    NodeId node, uint32_t epoch) const {
+  return reading_(node, epoch);
+}
+
+void ExtremumAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  *into = Pick(*into, from);
+}
+
+ExtremumAggregate::Result ExtremumAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  return Pick(p, s);
+}
+
+// -------------------------------------------------------------- Average --
+
+AverageAggregate::AverageAggregate(UintReadingFn reading, int sketch_bitmaps,
+                                   uint64_t seed)
+    : reading_(std::move(reading)),
+      sketch_bitmaps_(sketch_bitmaps),
+      seed_(seed) {
+  TD_CHECK(reading_ != nullptr);
+}
+
+AverageAggregate::TreePartial AverageAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  return TreePartial{reading_(node, epoch), 1, node};
+}
+
+void AverageAggregate::MergeTree(TreePartial* into,
+                                 const TreePartial& from) const {
+  into->sum += from.sum;
+  into->count += from.count;
+}
+
+void AverageAggregate::FinalizeTreePartial(TreePartial* p, NodeId node) const {
+  p->origin = node;
+}
+
+AverageAggregate::Synopsis AverageAggregate::MakeSynopsis(
+    NodeId node, uint32_t epoch) const {
+  Synopsis s = EmptySynopsis();
+  s.sum_sketch.AddValue(node, reading_(node, epoch));
+  s.count_sketch.AddKey(node);
+  return s;
+}
+
+AverageAggregate::Synopsis AverageAggregate::EmptySynopsis() const {
+  return Synopsis{FmSketch(sketch_bitmaps_, seed_),
+                  FmSketch(sketch_bitmaps_, seed_ ^ 0x5bd1e995u)};
+}
+
+void AverageAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  into->sum_sketch.Merge(from.sum_sketch);
+  into->count_sketch.Merge(from.count_sketch);
+}
+
+AverageAggregate::Synopsis AverageAggregate::Convert(
+    const TreePartial& p) const {
+  TD_CHECK_NE(p.origin, 0xffffffffu);
+  Synopsis s = EmptySynopsis();
+  s.sum_sketch.AddValue(p.origin, p.sum);
+  s.count_sketch.AddValue(p.origin, p.count);
+  return s;
+}
+
+AverageAggregate::Result AverageAggregate::EvaluateTree(
+    const TreePartial& p) const {
+  if (p.count == 0) return 0.0;
+  return static_cast<double>(p.sum) / static_cast<double>(p.count);
+}
+
+AverageAggregate::Result AverageAggregate::EvaluateSynopsis(
+    const Synopsis& s) const {
+  double c = s.count_sketch.Estimate();
+  if (c <= 0.0) return 0.0;
+  return s.sum_sketch.Estimate() / c;
+}
+
+AverageAggregate::Result AverageAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  double sum = static_cast<double>(p.sum) + s.sum_sketch.Estimate();
+  double count = static_cast<double>(p.count) + s.count_sketch.Estimate();
+  if (count <= 0.0) return 0.0;
+  return sum / count;
+}
+
+size_t AverageAggregate::TreeBytes(const TreePartial&) const {
+  return 2 * sizeof(uint32_t);
+}
+
+size_t AverageAggregate::SynopsisBytes(const Synopsis& s) const {
+  return s.sum_sketch.EncodedBytes() + s.count_sketch.EncodedBytes();
+}
+
+// ------------------------------------------------------- Uniform sample --
+
+UniformSampleAggregate::UniformSampleAggregate(RealReadingFn reading,
+                                               size_t sample_size,
+                                               uint64_t seed)
+    : reading_(std::move(reading)), sample_size_(sample_size), seed_(seed) {
+  TD_CHECK(reading_ != nullptr);
+  TD_CHECK_GT(sample_size, 0u);
+}
+
+UniformSampleAggregate::TreePartial UniformSampleAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  SampleSynopsis s(sample_size_, seed_);
+  s.Add(node, reading_(node, epoch));
+  return s;
+}
+
+UniformSampleAggregate::TreePartial UniformSampleAggregate::EmptyTreePartial()
+    const {
+  return SampleSynopsis(sample_size_, seed_);
+}
+
+void UniformSampleAggregate::MergeTree(TreePartial* into,
+                                       const TreePartial& from) const {
+  into->Merge(from);
+}
+
+UniformSampleAggregate::Synopsis UniformSampleAggregate::MakeSynopsis(
+    NodeId node, uint32_t epoch) const {
+  return MakeTreePartial(node, epoch);
+}
+
+UniformSampleAggregate::Synopsis UniformSampleAggregate::EmptySynopsis()
+    const {
+  return SampleSynopsis(sample_size_, seed_);
+}
+
+void UniformSampleAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  into->Merge(from);
+}
+
+UniformSampleAggregate::Result UniformSampleAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  SampleSynopsis merged = p;
+  merged.Merge(s);
+  return merged;
+}
+
+}  // namespace td

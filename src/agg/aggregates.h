@@ -1,0 +1,229 @@
+// The "simple" aggregates of Section 5: Count, Sum, Min, Max, Average and
+// Uniform Sample, each with a tree algorithm, a multi-path (synopsis
+// diffusion) algorithm, and the conversion function between them.
+//
+// Duplicate-insensitive Count/Sum use the FM sketch bank of [5, 7]; the
+// conversion function for a subtree with total c rooted at T-node X inserts
+// c distinct sub-items keyed by X into the sketch, which the multi-path
+// scheme "equates with the value c" (Section 5) -- valid because path
+// correctness makes X the root of a unique subtree, so no other input can
+// duplicate those sub-items.
+#ifndef TD_AGG_AGGREGATES_H_
+#define TD_AGG_AGGREGATES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "agg/aggregate.h"
+#include "sketch/fm_sketch.h"
+#include "sketch/sample_synopsis.h"
+
+namespace td {
+
+/// Produces a sensor's reading for an epoch. Sum/Average readings are
+/// non-negative integers (sensor ADC outputs), as required by the
+/// duplicate-insensitive Sum sketch.
+using UintReadingFn = std::function<uint64_t(NodeId, uint32_t)>;
+using RealReadingFn = std::function<double(NodeId, uint32_t)>;
+
+/// Tree partial result for counting-style aggregates. `origin` records the
+/// subtree root (set by FinalizeTreePartial) so the conversion function can
+/// key the synopsis insertions by a unique identity.
+struct CountingPartial {
+  /// No-origin sentinel (partial not yet finalized by any node).
+  static constexpr NodeId kNoOrigin = 0xffffffffu;
+
+  uint64_t value = 0;
+  NodeId origin = kNoOrigin;
+};
+
+/// COUNT: how many sensors are alive/contributing.
+class CountAggregate {
+ public:
+  using TreePartial = CountingPartial;
+  using Synopsis = FmSketch;
+  using Result = double;
+
+  explicit CountAggregate(int sketch_bitmaps = FmSketch::kDefaultBitmaps,
+                          uint64_t seed = 1);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const { return TreePartial{}; }
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* p, NodeId node) const;
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const;
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const;
+
+  Result EvaluateTree(const TreePartial& p) const;
+  Result EvaluateSynopsis(const Synopsis& s) const;
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial& p) const;
+  size_t SynopsisBytes(const Synopsis& s) const;
+
+ private:
+  int sketch_bitmaps_;
+  uint64_t seed_;
+};
+
+/// SUM of non-negative integer readings.
+class SumAggregate {
+ public:
+  using TreePartial = CountingPartial;
+  using Synopsis = FmSketch;
+  using Result = double;
+
+  SumAggregate(UintReadingFn reading,
+               int sketch_bitmaps = FmSketch::kDefaultBitmaps,
+               uint64_t seed = 2);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const { return TreePartial{}; }
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* p, NodeId node) const;
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const;
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const;
+
+  Result EvaluateTree(const TreePartial& p) const;
+  Result EvaluateSynopsis(const Synopsis& s) const;
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial& p) const;
+  size_t SynopsisBytes(const Synopsis& s) const;
+
+ private:
+  UintReadingFn reading_;
+  int sketch_bitmaps_;
+  uint64_t seed_;
+};
+
+/// MIN or MAX of real readings. Naturally duplicate-insensitive: the
+/// synopsis IS the extremum, so tree and multi-path algorithms coincide and
+/// conversion is the identity.
+class ExtremumAggregate {
+ public:
+  enum class Kind { kMin, kMax };
+
+  using TreePartial = double;
+  using Synopsis = double;
+  using Result = double;
+
+  ExtremumAggregate(Kind kind, RealReadingFn reading);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const { return Identity(); }
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* /*p*/, NodeId /*node*/) const {}
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const { return Identity(); }
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const { return p; }
+
+  Result EvaluateTree(const TreePartial& p) const { return p; }
+  Result EvaluateSynopsis(const Synopsis& s) const { return s; }
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial&) const { return sizeof(double); }
+  size_t SynopsisBytes(const Synopsis&) const { return sizeof(double); }
+
+ private:
+  double Identity() const {
+    return kind_ == Kind::kMin ? std::numeric_limits<double>::infinity()
+                               : -std::numeric_limits<double>::infinity();
+  }
+  double Pick(double a, double b) const {
+    return kind_ == Kind::kMin ? (a < b ? a : b) : (a > b ? a : b);
+  }
+
+  Kind kind_;
+  RealReadingFn reading_;
+};
+
+/// AVERAGE = duplicate-insensitive Sum / duplicate-insensitive Count.
+class AverageAggregate {
+ public:
+  struct TreePartial {
+    uint64_t sum = 0;
+    uint64_t count = 0;
+    NodeId origin = 0xffffffffu;
+  };
+  struct Synopsis {
+    FmSketch sum_sketch;
+    FmSketch count_sketch;
+  };
+  using Result = double;
+
+  AverageAggregate(UintReadingFn reading,
+                   int sketch_bitmaps = FmSketch::kDefaultBitmaps,
+                   uint64_t seed = 3);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const { return TreePartial{}; }
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* p, NodeId node) const;
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const;
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const;
+
+  Result EvaluateTree(const TreePartial& p) const;
+  Result EvaluateSynopsis(const Synopsis& s) const;
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial&) const;
+  size_t SynopsisBytes(const Synopsis& s) const;
+
+ private:
+  UintReadingFn reading_;
+  int sketch_bitmaps_;
+  uint64_t seed_;
+};
+
+/// UNIFORM SAMPLE of (sensor, reading) pairs; the basis for Quantiles and
+/// statistical moments in the framework (Section 5). Min-wise sampling is
+/// duplicate-insensitive, so tree partials and synopses share one type and
+/// conversion is the identity.
+class UniformSampleAggregate {
+ public:
+  using TreePartial = SampleSynopsis;
+  using Synopsis = SampleSynopsis;
+  using Result = SampleSynopsis;
+
+  UniformSampleAggregate(RealReadingFn reading, size_t sample_size,
+                         uint64_t seed = 4);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const;
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* /*p*/, NodeId /*node*/) const {}
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const;
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const { return p; }
+
+  Result EvaluateTree(const TreePartial& p) const { return p; }
+  Result EvaluateSynopsis(const Synopsis& s) const { return s; }
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial& p) const { return p.EncodedBytes(); }
+  size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
+
+ private:
+  RealReadingFn reading_;
+  size_t sample_size_;
+  uint64_t seed_;
+};
+
+}  // namespace td
+
+#endif  // TD_AGG_AGGREGATES_H_

@@ -1,0 +1,30 @@
+// Result of running one aggregation epoch, shared by all engines.
+#ifndef TD_AGG_EPOCH_OUTCOME_H_
+#define TD_AGG_EPOCH_OUTCOME_H_
+
+#include <cstddef>
+
+#include "util/node_set.h"
+
+namespace td {
+
+template <typename Result>
+struct EpochOutcome {
+  Result result{};
+
+  /// Ground truth: exact set of sensors whose readings are accounted for in
+  /// `result` (simulator metadata; the base station cannot observe this).
+  NodeSet contributors;
+
+  /// Ground truth count (== contributors.Count(), cached).
+  size_t true_contributing = 0;
+
+  /// What the base station *believes* contributed, from the piggybacked
+  /// counts: exact for tree regions, an FM estimate for delta regions. This
+  /// is the signal that drives Tributary-Delta adaptation (Section 4.2).
+  double reported_contributing = 0.0;
+};
+
+}  // namespace td
+
+#endif  // TD_AGG_EPOCH_OUTCOME_H_

@@ -1,0 +1,102 @@
+// Synopsis-diffusion multi-path aggregation over the rings topology [16]
+// (Section 2, "Multi-Path-Based").
+//
+// Nodes in ring i+1 broadcast while ring i listens; every ring-i node that
+// hears a ring-(i+1) partial result fuses it into its own. Because each
+// reading reaches the base station along many ring paths, a single message
+// loss almost never removes it from the answer; the price is the
+// duplicate-insensitive synopsis (approximation error, larger messages).
+//
+// Alongside the aggregate's synopsis, the engine piggybacks an FM Count
+// sketch of contributing node ids -- the "(approximate) Count of the number
+// of nodes contributing" that Section 4.2 adds to every message so the base
+// station can estimate the % contributing.
+#ifndef TD_AGG_MULTIPATH_AGGREGATOR_H_
+#define TD_AGG_MULTIPATH_AGGREGATOR_H_
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/epoch_outcome.h"
+#include "net/network.h"
+#include "sketch/fm_sketch.h"
+#include "topology/rings.h"
+#include "util/check.h"
+#include "util/node_set.h"
+
+namespace td {
+
+template <Aggregate A>
+class MultipathAggregator {
+ public:
+  MultipathAggregator(const Rings* rings, Network* network,
+                      const A* aggregate, uint64_t contrib_seed = 0x510c)
+      : rings_(rings),
+        network_(network),
+        aggregate_(aggregate),
+        contrib_seed_(contrib_seed) {
+    TD_CHECK(rings != nullptr);
+    TD_CHECK(network != nullptr);
+    TD_CHECK(aggregate != nullptr);
+    TD_CHECK_EQ(rings->num_nodes(), network->size());
+  }
+
+  using Outcome = EpochOutcome<typename A::Result>;
+
+  Outcome RunEpoch(uint32_t epoch) {
+    const size_t n = rings_->num_nodes();
+    const NodeId base = rings_->base();
+    const Connectivity& conn = network_->connectivity();
+
+    std::vector<typename A::Synopsis> inbox(n, aggregate_->EmptySynopsis());
+    std::vector<FmSketch> inbox_contrib(
+        n, FmSketch(FmSketch::kDefaultBitmaps, contrib_seed_));
+    std::vector<NodeSet> inbox_set(n, NodeSet(n));
+
+    for (int level = rings_->max_level(); level >= 1; --level) {
+      for (NodeId v : rings_->NodesAtLevel(level)) {
+        typename A::Synopsis syn = aggregate_->MakeSynopsis(v, epoch);
+        aggregate_->Fuse(&syn, inbox[v]);
+
+        FmSketch contrib(FmSketch::kDefaultBitmaps, contrib_seed_);
+        contrib.AddKey(v);
+        contrib.Merge(inbox_contrib[v]);
+
+        NodeSet covered = inbox_set[v];
+        covered.Set(v);
+
+        // One physical broadcast; each upstream neighbor draws an
+        // independent loss trial.
+        size_t bytes = aggregate_->SynopsisBytes(syn) +
+                       contrib.EncodedBytes() + kMessageHeaderBytes;
+        network_->CountTransmission(v, bytes);
+        for (NodeId w : rings_->UpstreamNeighbors(conn, v)) {
+          if (network_->Deliver(v, w, epoch)) {
+            aggregate_->Fuse(&inbox[w], syn);
+            inbox_contrib[w].Merge(contrib);
+            inbox_set[w].Union(covered);
+          }
+        }
+      }
+    }
+
+    Outcome out;
+    out.result = aggregate_->EvaluateSynopsis(inbox[base]);
+    out.contributors = inbox_set[base];
+    out.true_contributing = out.contributors.Count();
+    out.reported_contributing = inbox_contrib[base].Estimate();
+    return out;
+  }
+
+  const Rings& rings() const { return *rings_; }
+
+ private:
+  const Rings* rings_;
+  Network* network_;
+  const A* aggregate_;
+  uint64_t contrib_seed_;
+};
+
+}  // namespace td
+
+#endif  // TD_AGG_MULTIPATH_AGGREGATOR_H_

@@ -1,0 +1,103 @@
+// TAG-style tree aggregation engine [10] (Section 2, "Tree-Based").
+//
+// In-network aggregation proceeds level-by-level from the leaves: each node
+// merges its children's partial results into its own reading, finalizes
+// (aggregates with per-node behavior hook in here), and unicasts the
+// partial to its parent. A lost message drops the entire subtree from the
+// answer -- the severe robustness problem Tributary-Delta exists to fix.
+#ifndef TD_AGG_TREE_AGGREGATOR_H_
+#define TD_AGG_TREE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/epoch_outcome.h"
+#include "net/network.h"
+#include "topology/tree.h"
+#include "util/check.h"
+#include "util/node_set.h"
+
+namespace td {
+
+template <Aggregate A>
+class TreeAggregator {
+ public:
+  struct Options {
+    /// Extra transmission attempts after a loss (Figure 9(b) lets tree
+    /// nodes retransmit twice: extra_retransmissions = 2).
+    int extra_retransmissions = 0;
+  };
+
+  TreeAggregator(const Tree* tree, Network* network, const A* aggregate,
+                 Options options = {})
+      : tree_(tree),
+        network_(network),
+        aggregate_(aggregate),
+        options_(options) {
+    TD_CHECK(tree != nullptr);
+    TD_CHECK(network != nullptr);
+    TD_CHECK(aggregate != nullptr);
+    TD_CHECK_EQ(tree->num_nodes(), network->size());
+  }
+
+  using Outcome = EpochOutcome<typename A::Result>;
+
+  /// Runs one aggregation epoch; deterministic given the network seed and
+  /// call sequence.
+  Outcome RunEpoch(uint32_t epoch) {
+    const size_t n = tree_->num_nodes();
+    const NodeId root = tree_->root();
+
+    std::vector<typename A::TreePartial> inbox(
+        n, aggregate_->EmptyTreePartial());
+    std::vector<uint64_t> inbox_count(n, 0);
+    std::vector<NodeSet> inbox_set(n, NodeSet(n));
+
+    for (NodeId v : tree_->TopologicalChildrenFirst()) {
+      if (v == root) continue;
+      // Local reading merged with whatever arrived from children.
+      typename A::TreePartial partial = aggregate_->MakeTreePartial(v, epoch);
+      aggregate_->MergeTree(&partial, inbox[v]);
+      aggregate_->FinalizeTreePartial(&partial, v);
+
+      uint64_t contributing = 1 + inbox_count[v];
+      NodeSet covered = inbox_set[v];
+      covered.Set(v);
+
+      NodeId parent = tree_->parent(v);
+      size_t bytes = aggregate_->TreeBytes(partial) + kMessageHeaderBytes;
+      bool delivered = network_->DeliverWithRetries(
+          v, parent, epoch, options_.extra_retransmissions, bytes);
+      if (delivered) {
+        aggregate_->MergeTree(&inbox[parent], partial);
+        inbox_count[parent] += contributing;
+        inbox_set[parent].Union(covered);
+      }
+    }
+
+    // The base station merges surviving inputs and evaluates. It holds no
+    // reading of its own.
+    typename A::TreePartial final_partial = aggregate_->EmptyTreePartial();
+    aggregate_->MergeTree(&final_partial, inbox[root]);
+    aggregate_->FinalizeTreePartial(&final_partial, root);
+
+    Outcome out;
+    out.result = aggregate_->EvaluateTree(final_partial);
+    out.contributors = inbox_set[root];
+    out.true_contributing = out.contributors.Count();
+    out.reported_contributing = static_cast<double>(inbox_count[root]);
+    return out;
+  }
+
+  const Tree& tree() const { return *tree_; }
+
+ private:
+  const Tree* tree_;
+  Network* network_;
+  const A* aggregate_;
+  Options options_;
+};
+
+}  // namespace td
+
+#endif  // TD_AGG_TREE_AGGREGATOR_H_

@@ -1,0 +1,194 @@
+#include "freq/gk_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace td {
+
+GkSummary GkSummary::FromCounts(const ItemCounts& counts) {
+  GkSummary s;
+  uint64_t rank = 0;
+  for (const auto& [u, c] : counts) {
+    if (c == 0) continue;
+    rank += c;
+    s.entries_.push_back(Entry{static_cast<double>(u), rank, rank});
+  }
+  s.n_ = rank;
+  return s;
+}
+
+GkSummary GkSummary::FromValues(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  GkSummary s;
+  uint64_t rank = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    ++rank;
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    s.entries_.push_back(Entry{values[i], rank, rank});
+  }
+  s.n_ = rank;
+  return s;
+}
+
+void GkSummary::Merge(const GkSummary& other) {
+  if (other.entries_.empty()) return;
+  if (entries_.empty()) {
+    *this = other;
+    return;
+  }
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+
+  // Rank bounds of an outside value v against a summary: elements <= v are
+  // at least rmin(pred) and at most rmax(succ) - 1 (succ itself is > v),
+  // or n if v is beyond the last entry. An *exact* summary (rank error 0)
+  // enumerates every distinct value, so the count is exactly rmin(pred) --
+  // keeping this tight is what makes merges of exact summaries exact.
+  auto bounds = [](const std::vector<Entry>& es, uint64_t n, double v,
+                   bool inclusive,
+                   bool exact) -> std::pair<uint64_t, uint64_t> {
+    uint64_t lo = 0;
+    uint64_t hi = n;
+    for (const Entry& e : es) {  // entries are few; linear scan is fine
+      if (e.value < v || (inclusive && e.value == v)) {
+        lo = e.rmin;
+      } else {
+        hi = e.rmax == 0 ? 0 : e.rmax - 1;
+        break;
+      }
+    }
+    if (exact) hi = lo;
+    return {lo, hi};
+  };
+
+  std::vector<Entry> merged;
+  merged.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    bool take_a;
+    if (i >= a.size()) {
+      take_a = false;
+    } else if (j >= b.size()) {
+      take_a = true;
+    } else if (a[i].value == b[j].value) {
+      // Same value present in both: combine exactly.
+      merged.push_back(Entry{a[i].value, a[i].rmin + b[j].rmin,
+                             a[i].rmax + b[j].rmax});
+      ++i;
+      ++j;
+      continue;
+    } else {
+      take_a = a[i].value < b[j].value;
+    }
+    if (take_a) {
+      auto [lo, hi] =
+          bounds(b, other.n_, a[i].value, true, other.abs_error_ == 0.0);
+      merged.push_back(Entry{a[i].value, a[i].rmin + lo, a[i].rmax + hi});
+      ++i;
+    } else {
+      auto [lo, hi] = bounds(a, n_, b[j].value, true, abs_error_ == 0.0);
+      merged.push_back(Entry{b[j].value, b[j].rmin + lo, b[j].rmax + hi});
+      ++j;
+    }
+  }
+
+  entries_ = std::move(merged);
+  n_ += other.n_;
+  abs_error_ += other.abs_error_;
+  // Uncertainty introduced by positioning foreign values between entries is
+  // captured by the widened [rmin, rmax] intervals; queries account for it
+  // via the interval midpoints.
+}
+
+void GkSummary::Compress(double additional_abs_error) {
+  TD_CHECK_GE(additional_abs_error, 0.0);
+  if (entries_.size() <= 2 || additional_abs_error <= 0.0) {
+    abs_error_ += additional_abs_error;
+    return;
+  }
+  const double budget = 2.0 * additional_abs_error;
+  std::vector<Entry> kept;
+  kept.push_back(entries_.front());
+  for (size_t i = 1; i + 1 < entries_.size(); ++i) {
+    // Keep entries_[i] if skipping it would open a rank gap beyond budget.
+    double gap = static_cast<double>(entries_[i + 1].rmax) -
+                 static_cast<double>(kept.back().rmin);
+    if (gap > budget) kept.push_back(entries_[i]);
+  }
+  kept.push_back(entries_.back());
+  entries_ = std::move(kept);
+  abs_error_ += additional_abs_error;
+}
+
+double GkSummary::EstimateRank(double v) const {
+  if (entries_.empty()) return 0.0;
+  double lo = 0.0;
+  double hi = static_cast<double>(n_);
+  bool hit_exact_value = false;
+  for (const Entry& e : entries_) {
+    if (e.value == v) {
+      // rank(v) lies in this entry's own band, tighter than the
+      // pred/succ interval.
+      lo = static_cast<double>(e.rmin);
+      hi = static_cast<double>(e.rmax);
+      hit_exact_value = true;
+      break;
+    }
+    if (e.value < v) {
+      lo = static_cast<double>(e.rmin);
+    } else {
+      hi = static_cast<double>(e.rmax) - 1.0;
+      break;
+    }
+  }
+  // An exact summary enumerates every distinct value, so between entries
+  // the rank is exactly the predecessor's.
+  if (!hit_exact_value && abs_error_ == 0.0) hi = lo;
+  if (hi < lo) hi = lo;
+  return (lo + hi) / 2.0;
+}
+
+double GkSummary::EstimateRankBelow(double v) const {
+  if (entries_.empty()) return 0.0;
+  double lo = 0.0;
+  double hi = static_cast<double>(n_);
+  for (const Entry& e : entries_) {
+    if (e.value < v) {
+      lo = static_cast<double>(e.rmin);
+    } else {
+      // e.value >= v: elements strictly below v number at most rmax - 1
+      // (e itself accounts for at least one element >= v at rank rmax).
+      hi = static_cast<double>(e.rmax) - 1.0;
+      break;
+    }
+  }
+  // Exact summaries enumerate all values: strictly-below count is exactly
+  // the last smaller entry's rank.
+  if (abs_error_ == 0.0) hi = lo;
+  if (hi < lo) hi = lo;
+  return (lo + hi) / 2.0;
+}
+
+double GkSummary::EstimateQuantile(double p) const {
+  TD_CHECK(!entries_.empty());
+  TD_CHECK_GE(p, 0.0);
+  TD_CHECK_LE(p, 1.0);
+  double target = p * static_cast<double>(n_);
+  // Smallest entry whose midpoint rank covers the target.
+  for (const Entry& e : entries_) {
+    double mid = (static_cast<double>(e.rmin) + static_cast<double>(e.rmax)) /
+                 2.0;
+    if (mid >= target) return e.value;
+  }
+  return entries_.back().value;
+}
+
+double GkSummary::EstimateCount(double v) const {
+  double c = EstimateRank(v) - EstimateRankBelow(v);
+  return c > 0.0 ? c : 0.0;
+}
+
+}  // namespace td

@@ -1,0 +1,86 @@
+// Mergeable epsilon-approximate quantile summaries in the style of
+// Greenwald-Khanna's power-conserving order statistics [8], used (a) as the
+// Quantiles-based frequent items baseline of Figure 8 (footnote 5:
+// "frequent items can be computed from quantiles") and (b) for the
+// Section 6.1.4 quantiles extension driven by our precision gradients.
+//
+// Representation: sorted entries (value, rmin, rmax) where rmin/rmax bound
+// the rank of `value` in the summarized multiset. Exact leaf summaries have
+// rmin == rmax. Merging adds rank bounds against the other summary's
+// predecessor/successor (errors add); Compress drops entries while keeping
+// every rank gap below a budget (spending the gradient's per-level error
+// increment). A summary with absolute rank error E answers any rank or
+// quantile query within E of the truth.
+#ifndef TD_FREQ_GK_SUMMARY_H_
+#define TD_FREQ_GK_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "freq/item_source.h"
+
+namespace td {
+
+class GkSummary {
+ public:
+  struct Entry {
+    double value;
+    uint64_t rmin;  // lower bound on rank(value)
+    uint64_t rmax;  // upper bound on rank(value)
+  };
+
+  GkSummary() = default;
+
+  /// Exact summary of a multiset given as item -> multiplicity.
+  static GkSummary FromCounts(const ItemCounts& counts);
+
+  /// Exact summary of raw values.
+  static GkSummary FromValues(std::vector<double> values);
+
+  /// Merges another summary (absolute rank errors add).
+  void Merge(const GkSummary& other);
+
+  /// Drops entries, allowing rank gaps up to 2*additional_abs_error wider;
+  /// adds `additional_abs_error` to the summary's error budget.
+  void Compress(double additional_abs_error);
+
+  /// Number of summarized elements.
+  uint64_t n() const { return n_; }
+
+  /// Guaranteed absolute rank error bound.
+  double abs_error() const { return abs_error_; }
+
+  bool Empty() const { return entries_.empty(); }
+  size_t num_entries() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Estimated rank of v: midpoint of the feasible interval for
+  /// |{x : x <= v}|. Error at most abs_error() + half the local gap.
+  double EstimateRank(double v) const;
+
+  /// Estimated number of elements strictly less than v.
+  double EstimateRankBelow(double v) const;
+
+  /// Estimated p-quantile, p in [0, 1].
+  double EstimateQuantile(double p) const;
+
+  /// Estimated multiplicity of the exact value v:
+  /// EstimateRank(v) - EstimateRankBelow(v). This is how frequent items
+  /// fall out of a quantile summary.
+  double EstimateCount(double v) const;
+
+  /// 32-bit words a transmission costs: 3 per entry (value, rmin, rmax)
+  /// plus 2 of metadata. This is what makes the Quantiles-based baseline
+  /// expensive: entry count tracks 1/eps regardless of the data skew,
+  /// where frequent-items summaries shrink when few items are heavy.
+  size_t Words() const { return 3 * entries_.size() + 2; }
+
+ private:
+  uint64_t n_ = 0;
+  double abs_error_ = 0.0;
+  std::vector<Entry> entries_;  // sorted by value, distinct values
+};
+
+}  // namespace td
+
+#endif  // TD_FREQ_GK_SUMMARY_H_

@@ -1,0 +1,186 @@
+#include "freq/multipath_freq.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace td {
+
+int MultipathFreqParams::LogN() const {
+  int log_n = CeilLog2(n_upper);
+  return log_n < 1 ? 1 : log_n;
+}
+
+MultipathFreq::MultipathFreq(MultipathFreqParams params) : params_(params) {
+  TD_CHECK_GT(params_.eps, 0.0);
+  TD_CHECK_GT(params_.eta, 1.0);  // Algorithm 2: "We restrict eta > 1"
+  TD_CHECK_GE(params_.n_upper, 2u);
+}
+
+FreqClassSynopsis MultipathFreq::MakeClassSynopsis(int cls) const {
+  FreqClassSynopsis s;
+  s.cls = cls;
+  s.n_sketch = FmSketch(params_.count_bitmaps, params_.seed);
+  return s;
+}
+
+FreqSynopsisBank MultipathFreq::Generate(NodeId node,
+                                         const ItemCounts& local) const {
+  FreqSynopsisBank bank;
+  uint64_t n_local = 0;
+  for (const auto& [u, c] : local) n_local += c;
+  if (n_local == 0) return bank;
+
+  int cls = FloorLog2(n_local);
+  double threshold = static_cast<double>(cls) *
+                     static_cast<double>(n_local) * params_.eps /
+                     static_cast<double>(params_.LogN());
+
+  FreqClassSynopsis s = MakeClassSynopsis(cls);
+  s.n_sketch.AddValue(node, n_local);
+  for (const auto& [u, c] : local) {
+    if (static_cast<double>(c) <= threshold) continue;  // pruned by SG
+    FmSketch counter(params_.item_bitmaps, params_.seed ^ Mix64(u));
+    counter.AddValue(Hash64Pair(u, node), c);
+    s.counters.emplace(u, std::move(counter));
+  }
+  bank.by_class.emplace(cls, std::move(s));
+  return bank;
+}
+
+FreqSynopsisBank MultipathFreq::ConvertSummary(NodeId origin,
+                                               const Summary& summary) const {
+  FreqSynopsisBank bank;
+  if (summary.n == 0) return bank;
+
+  int cls = FloorLog2(summary.n);
+  double threshold = static_cast<double>(cls) *
+                     static_cast<double>(summary.n) * params_.eps /
+                     static_cast<double>(params_.LogN());
+
+  FreqClassSynopsis s = MakeClassSynopsis(cls);
+  s.n_sketch.AddValue(origin, summary.n);
+  for (const auto& [u, est] : summary.items) {
+    if (est <= threshold) continue;
+    uint64_t count = static_cast<uint64_t>(std::floor(est));
+    if (count == 0) continue;
+    FmSketch counter(params_.item_bitmaps, params_.seed ^ Mix64(u));
+    // Keyed by the subtree root: unique under path correctness, so fusing
+    // the converted synopsis along several ring paths never double counts.
+    counter.AddValue(Hash64Pair(u, origin), count);
+    s.counters.emplace(u, std::move(counter));
+  }
+  bank.by_class.emplace(cls, std::move(s));
+  return bank;
+}
+
+void MultipathFreq::ApplyThreshold(FreqClassSynopsis* s, double n_est) const {
+  double threshold =
+      params_.eps * n_est / static_cast<double>(params_.LogN());
+  for (auto it = s->counters.begin(); it != s->counters.end();) {
+    double est = it->second.Estimate();
+    // Algorithm 2 step 3: drop when eps*n~/logN >= eta*c~(u).
+    if (threshold >= params_.eta * est) {
+      it = s->counters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+FreqClassSynopsis MultipathFreq::Combine(FreqClassSynopsis a,
+                                         FreqClassSynopsis b) const {
+  TD_CHECK_EQ(a.cls, b.cls);
+  a.n_sketch.Merge(b.n_sketch);
+  for (auto& [u, counter] : b.counters) {
+    auto it = a.counters.find(u);
+    if (it == a.counters.end()) {
+      a.counters.emplace(u, std::move(counter));
+    } else {
+      it->second.Merge(counter);
+    }
+  }
+  double n_est = a.n_sketch.Estimate();
+  // Promote while the (approximate) represented count exceeds the class
+  // capacity; apply the rising-threshold pruning at each promotion.
+  while (n_est > std::pow(2.0, a.cls + 1)) {
+    ++a.cls;
+    ApplyThreshold(&a, n_est);
+  }
+  return a;
+}
+
+void MultipathFreq::InsertWithCarry(FreqSynopsisBank* bank,
+                                    FreqClassSynopsis s) const {
+  for (;;) {
+    auto it = bank->by_class.find(s.cls);
+    if (it == bank->by_class.end()) {
+      bank->by_class.emplace(s.cls, std::move(s));
+      return;
+    }
+    FreqClassSynopsis existing = std::move(it->second);
+    bank->by_class.erase(it);
+    s = Combine(std::move(existing), std::move(s));
+  }
+}
+
+void MultipathFreq::Fuse(FreqSynopsisBank* into,
+                         const FreqSynopsisBank& from) const {
+  // Smallest class first, as Section 6.2's synopsis fusion prescribes, so
+  // carries ripple upward deterministically.
+  for (const auto& [cls, syn] : from.by_class) {
+    InsertWithCarry(into, syn);
+  }
+}
+
+MultipathFreq::Evaluation MultipathFreq::Evaluate(
+    const FreqSynopsisBank& bank) const {
+  Evaluation ev;
+  FmSketch total(params_.count_bitmaps, params_.seed);
+  std::map<Item, FmSketch> per_item;
+  for (const auto& [cls, syn] : bank.by_class) {
+    total.Merge(syn.n_sketch);
+    for (const auto& [u, counter] : syn.counters) {
+      auto it = per_item.find(u);
+      if (it == per_item.end()) {
+        per_item.emplace(u, counter);
+      } else {
+        // The duplicate-insensitive "+" across classes: sketch union.
+        it->second.Merge(counter);
+      }
+    }
+  }
+  ev.total = total.Estimate();
+  for (const auto& [u, counter] : per_item) {
+    ev.counts[u] = counter.Estimate();
+  }
+  return ev;
+}
+
+size_t MultipathFreq::EncodedBytes(const FreqSynopsisBank& bank) const {
+  size_t bytes = 0;
+  for (const auto& [cls, syn] : bank.by_class) {
+    bytes += 1;  // class id
+    bytes += syn.n_sketch.EncodedBytes();
+    for (const auto& [u, counter] : syn.counters) {
+      bytes += sizeof(uint32_t);  // item id
+      bytes += counter.EncodedBytes();
+    }
+  }
+  return bytes;
+}
+
+std::vector<Item> ReportFrequent(const std::map<Item, double>& counts,
+                                 double total, double support, double eps) {
+  TD_CHECK_GT(support, eps);
+  std::vector<Item> out;
+  double bar = (support - eps) * total;
+  for (const auto& [u, c] : counts) {
+    if (c > bar) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace td

@@ -1,0 +1,52 @@
+#include "freq/precision_gradient.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace td {
+
+MinMaxLoadGradient::MinMaxLoadGradient(double eps, int tree_height)
+    : eps_(eps), tree_height_(tree_height) {
+  TD_CHECK_GT(eps, 0.0);
+  TD_CHECK_GE(tree_height, 1);
+}
+
+double MinMaxLoadGradient::Epsilon(int height) const {
+  TD_CHECK_GE(height, 0);
+  if (height >= tree_height_) return eps_;
+  return eps_ * static_cast<double>(height) /
+         static_cast<double>(tree_height_);
+}
+
+MinTotalLoadGradient::MinTotalLoadGradient(double eps,
+                                           double domination_factor)
+    : eps_(eps), t_(1.0 / std::sqrt(domination_factor)) {
+  TD_CHECK_GT(eps, 0.0);
+  // Lemma 3 requires d > 1 (t < 1) for the geometric series to contract.
+  TD_CHECK_GT(domination_factor, 1.0);
+}
+
+double MinTotalLoadGradient::Epsilon(int height) const {
+  TD_CHECK_GE(height, 0);
+  // eps * (1-t)(1 + t + ... + t^{i-1}) telescopes to eps * (1 - t^i).
+  return eps_ * (1.0 - std::pow(t_, height));
+}
+
+double MinTotalLoadGradient::TotalCommunicationBound(double eps,
+                                                     double domination_factor,
+                                                     size_t m) {
+  TD_CHECK_GT(domination_factor, 1.0);
+  double sqrt_d = std::sqrt(domination_factor);
+  return (1.0 + 2.0 / (sqrt_d - 1.0)) * static_cast<double>(m) / eps;
+}
+
+HybridGradient::HybridGradient(double eps, double domination_factor,
+                               int tree_height)
+    : total_(eps / 2.0, domination_factor), max_(eps / 2.0, tree_height) {}
+
+double HybridGradient::Epsilon(int height) const {
+  return total_.Epsilon(height) + max_.Epsilon(height);
+}
+
+}  // namespace td

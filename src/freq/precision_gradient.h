@@ -1,0 +1,87 @@
+// Precision gradients epsilon(1) <= epsilon(2) <= ... <= epsilon(h) for the
+// tree frequent-items algorithms (Section 6.1).
+//
+// A node of height k prunes its summary down to epsilon(k)-deficiency, so
+// it sends estimates for at most 1/(epsilon(k) - epsilon(k-1)) items.
+// The gradient choice trades leaf-level pruning against root-level load:
+//
+//  * MinMaxLoad  [13]  -- uniform increments epsilon(i) = eps * i / h:
+//                         equalizes (and minimizes) the worst link load at
+//                         h/eps counters.
+//  * MinTotalLoad      -- the paper's contribution: geometric increments
+//                         epsilon(i) = eps * (1 - t^i), t = 1/sqrt(d) for a
+//                         d-dominating tree; total communication is at most
+//                         (1 + 2/(sqrt(d)-1)) * m/eps words (Lemma 3),
+//                         which is O(m/eps) -- optimal.
+//  * Hybrid            -- epsilon(i) = eps_mt(i; eps/2) + eps_mm(i; eps/2):
+//                         within a factor of 2 of optimal for *both*
+//                         max-link load and total load simultaneously
+//                         (Section 6.1.4).
+#ifndef TD_FREQ_PRECISION_GRADIENT_H_
+#define TD_FREQ_PRECISION_GRADIENT_H_
+
+#include <memory>
+#include <string>
+
+namespace td {
+
+class PrecisionGradient {
+ public:
+  virtual ~PrecisionGradient() = default;
+
+  /// epsilon(i) for node height i >= 1; Epsilon(0) must return 0.
+  virtual double Epsilon(int height) const = 0;
+
+  /// The per-level increment epsilon(i) - epsilon(i-1) (> 0 for i >= 1).
+  double Delta(int height) const {
+    return Epsilon(height) - Epsilon(height - 1);
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform gradient of Min Max-load [13]; `height` is the tree height h
+/// (the base station's height).
+class MinMaxLoadGradient : public PrecisionGradient {
+ public:
+  MinMaxLoadGradient(double eps, int tree_height);
+  double Epsilon(int height) const override;
+  std::string name() const override { return "Min Max-load"; }
+
+ private:
+  double eps_;
+  int tree_height_;
+};
+
+/// Geometric gradient of Min Total-load (Lemma 3): epsilon(i) =
+/// eps * (1-t) * (1 + t + ... + t^{i-1}) = eps * (1 - t^i), t = 1/sqrt(d).
+class MinTotalLoadGradient : public PrecisionGradient {
+ public:
+  MinTotalLoadGradient(double eps, double domination_factor);
+  double Epsilon(int height) const override;
+  std::string name() const override { return "Min Total-load"; }
+
+  /// Lemma 3's bound on total communication in words for m nodes.
+  static double TotalCommunicationBound(double eps, double domination_factor,
+                                        size_t m);
+
+ private:
+  double eps_;
+  double t_;
+};
+
+/// Sum of the two optima at eps/2 each (Section 6.1.4, "Hybrid").
+class HybridGradient : public PrecisionGradient {
+ public:
+  HybridGradient(double eps, double domination_factor, int tree_height);
+  double Epsilon(int height) const override;
+  std::string name() const override { return "Hybrid"; }
+
+ private:
+  MinTotalLoadGradient total_;
+  MinMaxLoadGradient max_;
+};
+
+}  // namespace td
+
+#endif  // TD_FREQ_PRECISION_GRADIENT_H_

@@ -1,0 +1,57 @@
+#include "freq/summary.h"
+
+#include "util/check.h"
+
+namespace td {
+
+Summary LocalSummary(const ItemCounts& counts) {
+  Summary s;
+  for (const auto& [u, c] : counts) {
+    if (c == 0) continue;
+    s.n += c;
+    s.items[u] = static_cast<double>(c);
+  }
+  return s;
+}
+
+void MergeSummaries(Summary* into, const Summary& from) {
+  into->n += from.n;
+  into->error_mass += from.error_mass;
+  // The merged summary's deficiency is bounded by the worst input until
+  // the next prune re-normalizes it.
+  into->eps = std::max(into->eps, from.eps);
+  for (const auto& [u, est] : from.items) into->items[u] += est;
+}
+
+void PruneSummary(Summary* s, const PrecisionGradient& gradient, int height) {
+  TD_CHECK_GE(height, 1);
+  double target_mass = gradient.Epsilon(height) * static_cast<double>(s->n);
+  double decrement = target_mass - s->error_mass;
+  // eps(k)*n >= sum_j eps_j*n_j because the gradient is non-decreasing and
+  // children have height < k; a tiny negative value can only arise from
+  // floating-point rounding.
+  TD_CHECK_GE(decrement, -1e-9 * (1.0 + target_mass));
+  if (decrement > 0.0) {
+    for (auto it = s->items.begin(); it != s->items.end();) {
+      it->second -= decrement;
+      if (it->second <= 0.0) {
+        it = s->items.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    s->error_mass = target_mass;
+  }
+  s->eps = gradient.Epsilon(height);
+}
+
+Summary GenerateSummary(const ItemCounts& local,
+                        const std::vector<Summary>& children,
+                        const PrecisionGradient& gradient, int height) {
+  Summary s = LocalSummary(local);
+  for (const Summary& c : children) MergeSummaries(&s, c);
+  PruneSummary(&s, gradient, height);
+  return s;
+}
+
+}  // namespace td

@@ -1,0 +1,89 @@
+#include "freq/tree_freq.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace td {
+
+namespace {
+
+void Account(LoadReport* report, uint64_t words) {
+  report->total += words;
+  report->max = std::max(report->max, words);
+  ++report->nodes;
+}
+
+void FinishReport(LoadReport* report) {
+  if (report->nodes > 0) {
+    report->average = static_cast<double>(report->total) /
+                      static_cast<double>(report->nodes);
+  }
+}
+
+}  // namespace
+
+LoadReport MeasureTreeFreqLoad(const Tree& tree, const ItemSource& items,
+                               const PrecisionGradient& gradient,
+                               Summary* out_summary) {
+  TD_CHECK_EQ(tree.num_nodes(), items.num_nodes());
+  std::vector<int> height = tree.ComputeHeights();
+  std::vector<Summary> partial(tree.num_nodes());
+
+  LoadReport report;
+  for (NodeId v : tree.TopologicalChildrenFirst()) {
+    Summary s = LocalSummary(items.collection(v));
+    MergeSummaries(&s, partial[v]);  // children already accumulated here
+    int h = height[v] < 1 ? 1 : height[v];
+    PruneSummary(&s, gradient, h);
+    if (v == tree.root()) {
+      if (out_summary != nullptr) *out_summary = s;
+      break;  // children-first order ends at the root
+    }
+    Account(&report, s.Words());
+    MergeSummaries(&partial[tree.parent(v)], s);
+  }
+  FinishReport(&report);
+  return report;
+}
+
+LoadReport MeasureTreeQuantilesLoad(const Tree& tree, const ItemSource& items,
+                                    const PrecisionGradient& gradient,
+                                    GkSummary* out_summary) {
+  TD_CHECK_EQ(tree.num_nodes(), items.num_nodes());
+  std::vector<int> height = tree.ComputeHeights();
+  std::vector<GkSummary> partial(tree.num_nodes());
+
+  LoadReport report;
+  for (NodeId v : tree.TopologicalChildrenFirst()) {
+    GkSummary s = GkSummary::FromCounts(items.collection(v));
+    s.Merge(partial[v]);
+    int h = height[v] < 1 ? 1 : height[v];
+    // Spend this level's increment of the precision gradient: absolute
+    // rank-error budget (eps(h) - eps(h-1)) * n over the subtree's n.
+    s.Compress(gradient.Delta(h) * static_cast<double>(s.n()));
+    if (v == tree.root()) {
+      if (out_summary != nullptr) *out_summary = s;
+      break;
+    }
+    Account(&report, s.Words());
+    partial[tree.parent(v)].Merge(s);
+  }
+  FinishReport(&report);
+  return report;
+}
+
+std::map<Item, double> FrequentItemsFromQuantiles(const GkSummary& summary,
+                                                  double support, double eps) {
+  TD_CHECK_GT(support, eps);
+  std::map<Item, double> out;
+  double bar = (support - eps) * static_cast<double>(summary.n());
+  for (const GkSummary::Entry& e : summary.entries()) {
+    double count = summary.EstimateCount(e.value);
+    if (count > bar) out[static_cast<Item>(e.value)] = count;
+  }
+  return out;
+}
+
+}  // namespace td

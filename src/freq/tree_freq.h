@@ -1,0 +1,50 @@
+// Loss-free load measurement harness for the tree frequent-items and
+// quantiles algorithms (Figure 8's methodology: "average and maximum load
+// (number of integer values transmitted) of a node, under no message
+// loss").
+#ifndef TD_FREQ_TREE_FREQ_H_
+#define TD_FREQ_TREE_FREQ_H_
+
+#include <map>
+
+#include "freq/gk_summary.h"
+#include "freq/item_source.h"
+#include "freq/precision_gradient.h"
+#include "freq/summary.h"
+#include "topology/tree.h"
+
+namespace td {
+
+/// Per-node communication loads in 32-bit words.
+struct LoadReport {
+  double average = 0.0;   // mean words per transmitting node
+  uint64_t max = 0;       // worst single node
+  uint64_t total = 0;     // sum over all nodes (the Lemma 3 metric)
+  size_t nodes = 0;       // transmitting (non-root, in-tree) nodes
+};
+
+/// Runs Algorithm 1 up `tree` with `gradient` and measures loads; also
+/// returns the root's final summary through `out_summary` when non-null.
+LoadReport MeasureTreeFreqLoad(const Tree& tree, const ItemSource& items,
+                               const PrecisionGradient& gradient,
+                               Summary* out_summary = nullptr);
+
+/// Runs mergeable GK quantile summaries up `tree`, compressing at a node of
+/// height i by the gradient increment (eps(i) - eps(i-1)) * n_subtree, and
+/// measures loads. With the MinMaxLoad (uniform) gradient this is the
+/// Quantiles-based baseline of Figure 8 [8]; with MinTotalLoad it is the
+/// Section 6.1.4 quantiles extension. The root summary is returned through
+/// `out_summary` when non-null.
+LoadReport MeasureTreeQuantilesLoad(const Tree& tree, const ItemSource& items,
+                                    const PrecisionGradient& gradient,
+                                    GkSummary* out_summary = nullptr);
+
+/// Frequent items from a quantile summary (footnote 5): estimate each
+/// candidate value's multiplicity from rank differences and keep those
+/// above (support - eps) * n.
+std::map<Item, double> FrequentItemsFromQuantiles(const GkSummary& summary,
+                                                  double support, double eps);
+
+}  // namespace td
+
+#endif  // TD_FREQ_TREE_FREQ_H_

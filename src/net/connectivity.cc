@@ -1,0 +1,91 @@
+#include "net/connectivity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace td {
+
+Connectivity Connectivity::FromRadioRange(const Deployment& deployment,
+                                          double range) {
+  TD_CHECK_GT(range, 0.0);
+  Connectivity c(deployment.size());
+  for (NodeId a = 0; a < deployment.size(); ++a) {
+    for (NodeId b = a + 1; b < deployment.size(); ++b) {
+      if (Distance(deployment.position(a), deployment.position(b)) <= range) {
+        c.AddLink(a, b);
+      }
+    }
+  }
+  c.SortAdjacency();
+  return c;
+}
+
+Connectivity Connectivity::FromLinks(
+    size_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& links) {
+  Connectivity c(num_nodes);
+  for (const auto& [a, b] : links) {
+    TD_CHECK_LT(a, num_nodes);
+    TD_CHECK_LT(b, num_nodes);
+    TD_CHECK_NE(a, b);
+    c.AddLink(a, b);
+  }
+  c.SortAdjacency();
+  return c;
+}
+
+void Connectivity::AddLink(NodeId a, NodeId b) {
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+void Connectivity::SortAdjacency() {
+  for (auto& nbrs : adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+const std::vector<NodeId>& Connectivity::Neighbors(NodeId id) const {
+  TD_CHECK_LT(id, adjacency_.size());
+  return adjacency_[id];
+}
+
+bool Connectivity::AreNeighbors(NodeId a, NodeId b) const {
+  const auto& nbrs = Neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+size_t Connectivity::num_links() const {
+  size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return total / 2;
+}
+
+double Connectivity::AverageDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return static_cast<double>(total) / static_cast<double>(adjacency_.size());
+}
+
+bool Connectivity::IsConnected(NodeId root) const {
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{root};
+  seen[root] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (NodeId w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == adjacency_.size();
+}
+
+}  // namespace td

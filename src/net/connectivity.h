@@ -1,0 +1,51 @@
+// Which pairs of nodes can hear each other. Built from a disc radio model
+// (every node within `range` is a neighbor) or from an explicit link list
+// (used by the LabData reconstruction, whose links carry measured quality).
+#ifndef TD_NET_CONNECTIVITY_H_
+#define TD_NET_CONNECTIVITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/deployment.h"
+
+namespace td {
+
+class Connectivity {
+ public:
+  /// Disc model: a <-> b iff Distance(a,b) <= range.
+  static Connectivity FromRadioRange(const Deployment& deployment,
+                                     double range);
+
+  /// Explicit symmetric link list over `num_nodes` vertices.
+  static Connectivity FromLinks(
+      size_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& links);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+
+  const std::vector<NodeId>& Neighbors(NodeId id) const;
+
+  bool AreNeighbors(NodeId a, NodeId b) const;
+
+  /// Number of undirected links.
+  size_t num_links() const;
+
+  /// Average neighbor count.
+  double AverageDegree() const;
+
+  /// True if every node can reach node `root` over links.
+  bool IsConnected(NodeId root) const;
+
+ private:
+  explicit Connectivity(size_t num_nodes) : adjacency_(num_nodes) {}
+
+  void AddLink(NodeId a, NodeId b);
+  void SortAdjacency();
+
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace td
+
+#endif  // TD_NET_CONNECTIVITY_H_

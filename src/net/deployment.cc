@@ -1,0 +1,25 @@
+#include "net/deployment.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace td {
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Deployment::Deployment(std::vector<Point> positions)
+    : positions_(std::move(positions)) {
+  TD_CHECK_GE(positions_.size(), 2u);  // base station plus at least 1 sensor
+}
+
+const Point& Deployment::position(NodeId id) const {
+  TD_CHECK_LT(id, positions_.size());
+  return positions_[id];
+}
+
+}  // namespace td

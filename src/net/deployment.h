@@ -1,0 +1,56 @@
+// Physical deployment of a sensor field: node coordinates plus the base
+// station. Node ids are dense indices [0, size); by library convention the
+// base station is node 0 (builders in src/workload uphold this).
+#ifndef TD_NET_DEPLOYMENT_H_
+#define TD_NET_DEPLOYMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace td {
+
+using NodeId = uint32_t;
+
+/// 2D coordinate in deployment units (the paper uses feet).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b);
+
+/// Axis-aligned rectangle; used by Regional loss models
+/// (e.g. {(0,0),(10,10)} in Section 7.1).
+struct Rect {
+  Point lo;
+  Point hi;
+
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+};
+
+class Deployment {
+ public:
+  /// `positions[0]` is the base station.
+  explicit Deployment(std::vector<Point> positions);
+
+  /// Total number of vertices including the base station.
+  size_t size() const { return positions_.size(); }
+
+  /// Number of sensor nodes (m in the paper): size() - 1.
+  size_t num_sensors() const { return positions_.size() - 1; }
+
+  NodeId base() const { return 0; }
+
+  const Point& position(NodeId id) const;
+  const std::vector<Point>& positions() const { return positions_; }
+
+ private:
+  std::vector<Point> positions_;
+};
+
+}  // namespace td
+
+#endif  // TD_NET_DEPLOYMENT_H_

@@ -1,0 +1,104 @@
+#include "net/loss_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace td {
+
+namespace {
+
+double ClampRate(double p) { return std::clamp(p, 0.0, 1.0); }
+
+}  // namespace
+
+GlobalLoss::GlobalLoss(double p) : p_(ClampRate(p)) {}
+
+double GlobalLoss::LossRate(NodeId /*src*/, NodeId /*dst*/,
+                            uint32_t /*epoch*/) const {
+  return p_;
+}
+
+RegionalLoss::RegionalLoss(const Deployment* deployment, Rect region,
+                           double p_in, double p_out)
+    : deployment_(deployment),
+      region_(region),
+      p_in_(ClampRate(p_in)),
+      p_out_(ClampRate(p_out)) {
+  TD_CHECK(deployment != nullptr);
+}
+
+double RegionalLoss::LossRate(NodeId src, NodeId /*dst*/,
+                              uint32_t /*epoch*/) const {
+  return region_.Contains(deployment_->position(src)) ? p_in_ : p_out_;
+}
+
+PerLinkLoss::PerLinkLoss(double default_rate)
+    : default_rate_(ClampRate(default_rate)) {}
+
+void PerLinkLoss::SetLink(NodeId src, NodeId dst, double rate) {
+  rates_[{src, dst}] = ClampRate(rate);
+}
+
+void PerLinkLoss::SetLinkSymmetric(NodeId a, NodeId b, double rate) {
+  SetLink(a, b, rate);
+  SetLink(b, a, rate);
+}
+
+double PerLinkLoss::LossRate(NodeId src, NodeId dst,
+                             uint32_t /*epoch*/) const {
+  auto it = rates_.find({src, dst});
+  return it == rates_.end() ? default_rate_ : it->second;
+}
+
+DistanceLoss::DistanceLoss(const Deployment* deployment, double range,
+                           double floor_rate, double slope, double gamma)
+    : deployment_(deployment),
+      range_(range),
+      floor_rate_(floor_rate),
+      slope_(slope),
+      gamma_(gamma) {
+  TD_CHECK(deployment != nullptr);
+  TD_CHECK_GT(range, 0.0);
+}
+
+double DistanceLoss::LossRate(NodeId src, NodeId dst,
+                              uint32_t /*epoch*/) const {
+  double d = Distance(deployment_->position(src), deployment_->position(dst));
+  return ClampRate(floor_rate_ + slope_ * std::pow(d / range_, gamma_));
+}
+
+TimeVaryingLoss::TimeVaryingLoss(
+    std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>> phases)
+    : phases_(std::move(phases)) {
+  TD_CHECK(!phases_.empty());
+  TD_CHECK_EQ(phases_.front().first, 0u);
+  for (size_t i = 1; i < phases_.size(); ++i) {
+    TD_CHECK_LT(phases_[i - 1].first, phases_[i].first);
+    TD_CHECK(phases_[i].second != nullptr);
+  }
+}
+
+double TimeVaryingLoss::LossRate(NodeId src, NodeId dst,
+                                 uint32_t epoch) const {
+  // Last phase whose start <= epoch.
+  size_t idx = 0;
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].first <= epoch) idx = i;
+  }
+  return phases_[idx].second->LossRate(src, dst, epoch);
+}
+
+MaxLoss::MaxLoss(std::shared_ptr<LossModel> a, std::shared_ptr<LossModel> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  TD_CHECK(a_ != nullptr);
+  TD_CHECK(b_ != nullptr);
+}
+
+double MaxLoss::LossRate(NodeId src, NodeId dst, uint32_t epoch) const {
+  return std::max(a_->LossRate(src, dst, epoch),
+                  b_->LossRate(src, dst, epoch));
+}
+
+}  // namespace td

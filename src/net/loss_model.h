@@ -1,0 +1,120 @@
+// Message-loss models (Section 7.1 of the paper).
+//
+// A LossModel maps a directed transmission (src -> dst at a given epoch) to
+// a loss probability. The paper's models:
+//   * Global(p)           -- every transmission lost with probability p.
+//   * Regional(p1, p2)    -- transmissions *sent by* nodes inside a
+//                            rectangular failure region are lost with
+//                            probability p1, all others with p2. (The paper
+//                            says nodes in the region "experience a message
+//                            loss rate of p1"; we attribute the loss to the
+//                            sender, which is what makes those nodes'
+//                            readings drop out of tree aggregates.)
+//   * per-link quality    -- LabData-style measured link loss.
+//   * time-varying        -- a schedule of models with switch epochs, used
+//                            for the Figure 6 timeline experiment.
+#ifndef TD_NET_LOSS_MODEL_H_
+#define TD_NET_LOSS_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/deployment.h"
+
+namespace td {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Probability in [0,1] that the transmission src->dst at `epoch` is lost.
+  virtual double LossRate(NodeId src, NodeId dst, uint32_t epoch) const = 0;
+};
+
+/// Global(p): uniform loss everywhere.
+class GlobalLoss : public LossModel {
+ public:
+  explicit GlobalLoss(double p);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  double p_;
+};
+
+/// Regional(p_in, p_out): loss depends on whether the sender lies in the
+/// failure region.
+class RegionalLoss : public LossModel {
+ public:
+  RegionalLoss(const Deployment* deployment, Rect region, double p_in,
+               double p_out);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  const Deployment* deployment_;  // not owned
+  Rect region_;
+  double p_in_;
+  double p_out_;
+};
+
+/// Per-directed-link loss rates with a default for unlisted links.
+class PerLinkLoss : public LossModel {
+ public:
+  explicit PerLinkLoss(double default_rate = 0.0);
+  void SetLink(NodeId src, NodeId dst, double rate);
+  /// Sets both directions.
+  void SetLinkSymmetric(NodeId a, NodeId b, double rate);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  double default_rate_;
+  std::map<std::pair<NodeId, NodeId>, double> rates_;
+};
+
+/// Distance-derived loss: p = clamp(floor + slope * (d / range)^gamma).
+/// A standard in-building degradation shape; used by the LabData
+/// reconstruction (see DESIGN.md substitution #1).
+class DistanceLoss : public LossModel {
+ public:
+  DistanceLoss(const Deployment* deployment, double range, double floor_rate,
+               double slope, double gamma);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  const Deployment* deployment_;  // not owned
+  double range_;
+  double floor_rate_;
+  double slope_;
+  double gamma_;
+};
+
+/// Piecewise schedule of models: the model whose start epoch is the largest
+/// one <= epoch is in force. Drives the Figure 6 dynamic scenario.
+class TimeVaryingLoss : public LossModel {
+ public:
+  /// `phases` must be sorted by start epoch and begin at epoch 0.
+  explicit TimeVaryingLoss(
+      std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>> phases);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>> phases_;
+};
+
+/// Additive overlay: max of two models' rates (e.g. LabData link quality
+/// plus an injected Global(p) failure).
+class MaxLoss : public LossModel {
+ public:
+  MaxLoss(std::shared_ptr<LossModel> a, std::shared_ptr<LossModel> b);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  std::shared_ptr<LossModel> a_;
+  std::shared_ptr<LossModel> b_;
+};
+
+}  // namespace td
+
+#endif  // TD_NET_LOSS_MODEL_H_

@@ -1,0 +1,64 @@
+#include "net/network.h"
+
+#include "util/check.h"
+
+namespace td {
+
+Network::Network(const Deployment* deployment,
+                 const Connectivity* connectivity,
+                 std::shared_ptr<LossModel> loss, uint64_t seed)
+    : deployment_(deployment),
+      connectivity_(connectivity),
+      loss_(std::move(loss)),
+      rng_(seed),
+      node_energy_(deployment->size()) {
+  TD_CHECK(deployment_ != nullptr);
+  TD_CHECK(connectivity_ != nullptr);
+  TD_CHECK(loss_ != nullptr);
+  TD_CHECK_EQ(deployment_->size(), connectivity_->num_nodes());
+}
+
+bool Network::Deliver(NodeId src, NodeId dst, uint32_t epoch) {
+  TD_DCHECK(connectivity_->AreNeighbors(src, dst));
+  double p = loss_->LossRate(src, dst, epoch);
+  return !rng_.Bernoulli(p);
+}
+
+bool Network::DeliverWithRetries(NodeId src, NodeId dst, uint32_t epoch,
+                                 int extra_attempts, size_t bytes) {
+  TD_CHECK_GE(extra_attempts, 0);
+  for (int attempt = 0; attempt <= extra_attempts; ++attempt) {
+    CountTransmission(src, bytes);
+    if (Deliver(src, dst, epoch)) return true;
+  }
+  return false;
+}
+
+void Network::CountTransmission(NodeId src, size_t bytes) {
+  TD_CHECK_LT(src, node_energy_.size());
+  uint64_t packets = (bytes + kPacketBytes - 1) / kPacketBytes;
+  if (packets == 0) packets = 1;  // even an empty message costs a packet
+  EnergyStats delta;
+  delta.transmissions = 1;
+  delta.packets = packets;
+  delta.bytes = bytes;
+  total_energy_ += delta;
+  node_energy_[src] += delta;
+}
+
+void Network::SetLossModel(std::shared_ptr<LossModel> loss) {
+  TD_CHECK(loss != nullptr);
+  loss_ = std::move(loss);
+}
+
+const EnergyStats& Network::node_energy(NodeId id) const {
+  TD_CHECK_LT(id, node_energy_.size());
+  return node_energy_[id];
+}
+
+void Network::ResetEnergy() {
+  total_energy_ = EnergyStats{};
+  for (auto& e : node_energy_) e = EnergyStats{};
+}
+
+}  // namespace td

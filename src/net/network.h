@@ -1,0 +1,90 @@
+// The lossy wireless network: per-transmission Bernoulli delivery draws
+// plus energy accounting (transmissions, packets, bytes), mirroring the TAG
+// simulator setup the paper evaluates in.
+//
+// Scheduling semantics: aggregation engines iterate levels from the highest
+// toward the base station; each node performs one logical transmission per
+// epoch (a broadcast in rings / TD, a unicast in trees). Each receiver of a
+// broadcast draws an independent loss trial, matching the synopsis-diffusion
+// model [16] where distinct receivers fail independently.
+#ifndef TD_NET_NETWORK_H_
+#define TD_NET_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/connectivity.h"
+#include "net/deployment.h"
+#include "net/loss_model.h"
+#include "util/rng.h"
+
+namespace td {
+
+/// TinyDB message payload size used throughout the paper's evaluation.
+inline constexpr size_t kPacketBytes = 48;
+
+/// Cumulative energy-relevant counters.
+struct EnergyStats {
+  uint64_t transmissions = 0;  // physical radio sends (incl. retransmissions)
+  uint64_t packets = 0;        // 48-byte packets across all transmissions
+  uint64_t bytes = 0;          // payload bytes across all transmissions
+
+  EnergyStats& operator+=(const EnergyStats& o) {
+    transmissions += o.transmissions;
+    packets += o.packets;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+class Network {
+ public:
+  Network(const Deployment* deployment, const Connectivity* connectivity,
+          std::shared_ptr<LossModel> loss, uint64_t seed);
+
+  /// One delivery trial for src->dst at `epoch`. Both must be neighbors.
+  /// Deterministic given (seed, call sequence).
+  bool Deliver(NodeId src, NodeId dst, uint32_t epoch);
+
+  /// Delivery with up to `extra_attempts` retransmissions after a failure
+  /// (Figure 9(b): tree nodes retransmit twice => extra_attempts = 2).
+  /// Every attempt is counted as a physical transmission against `src`.
+  /// `bytes` is the message payload size, charged per attempt.
+  bool DeliverWithRetries(NodeId src, NodeId dst, uint32_t epoch,
+                          int extra_attempts, size_t bytes);
+
+  /// Charges one physical broadcast/unicast of `bytes` payload to `src`.
+  /// Deliver() does not charge energy by itself because one broadcast
+  /// reaches many receivers; engines call this once per transmission.
+  void CountTransmission(NodeId src, size_t bytes);
+
+  const Deployment& deployment() const { return *deployment_; }
+  const Connectivity& connectivity() const { return *connectivity_; }
+  const LossModel& loss() const { return *loss_; }
+
+  /// Replaces the loss model (dynamic scenarios assembled incrementally).
+  void SetLossModel(std::shared_ptr<LossModel> loss);
+
+  const EnergyStats& total_energy() const { return total_energy_; }
+  const EnergyStats& node_energy(NodeId id) const;
+
+  /// Zeroes all counters (e.g. after topology warm-up, as in Section 7.1:
+  /// "we begin data collection only after the topologies become stable").
+  void ResetEnergy();
+
+  size_t size() const { return deployment_->size(); }
+
+ private:
+  const Deployment* deployment_;      // not owned
+  const Connectivity* connectivity_;  // not owned
+  std::shared_ptr<LossModel> loss_;
+  Rng rng_;
+  EnergyStats total_energy_;
+  std::vector<EnergyStats> node_energy_;
+};
+
+}  // namespace td
+
+#endif  // TD_NET_NETWORK_H_

@@ -1,0 +1,76 @@
+#include "sketch/kmv_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace td {
+
+KmvSketch::KmvSketch(size_t k, uint64_t seed) : k_(k), seed_(seed) {
+  TD_CHECK_GE(k, 3u);  // estimator needs k-1 >= 2
+  minima_.reserve(k);
+}
+
+size_t KmvSketch::KForRelativeError(double eps) {
+  TD_CHECK_GT(eps, 0.0);
+  TD_CHECK_LT(eps, 1.0);
+  return static_cast<size_t>(std::ceil(4.0 / (eps * eps))) + 2;
+}
+
+void KmvSketch::AddKey(uint64_t key) { InsertHash(Hash64(key, seed_)); }
+
+void KmvSketch::AddCount(uint64_t key, uint64_t value) {
+  for (uint64_t i = 1; i <= value; ++i) {
+    InsertHash(Hash64Pair(key, i) ^ Mix64(seed_));
+  }
+}
+
+void KmvSketch::AddCountRangeEfficient(uint64_t key, uint64_t value) {
+  // Identical hash stream to AddCount, but once the sketch is saturated we
+  // can stop early only if we know no remaining occurrence key can beat the
+  // current k-th minimum -- which we cannot know without hashing them. What
+  // we *can* avoid is the O(log k) insertion for hashes that are clearly too
+  // large; this trims constants on large values while producing the exact
+  // same sketch.
+  uint64_t bound = Saturated() ? minima_.back() : ~0ULL;
+  for (uint64_t i = 1; i <= value; ++i) {
+    uint64_t h = Hash64Pair(key, i) ^ Mix64(seed_);
+    if (h < bound || !Saturated()) {
+      InsertHash(h);
+      bound = Saturated() ? minima_.back() : ~0ULL;
+    }
+  }
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  TD_CHECK_EQ(seed_, other.seed_);
+  TD_CHECK_EQ(k_, other.k_);
+  for (uint64_t h : other.minima_) InsertHash(h);
+}
+
+void KmvSketch::InsertHash(uint64_t h) {
+  auto it = std::lower_bound(minima_.begin(), minima_.end(), h);
+  if (it != minima_.end() && *it == h) return;  // duplicate
+  if (minima_.size() < k_) {
+    minima_.insert(it, h);
+    return;
+  }
+  if (h >= minima_.back()) return;  // larger than the k-th minimum
+  minima_.insert(it, h);
+  minima_.pop_back();
+}
+
+double KmvSketch::Estimate() const {
+  if (minima_.size() < k_) {
+    // Fewer than k distinct hashes: the sketch has seen every distinct key.
+    return static_cast<double>(minima_.size());
+  }
+  // (k-1) / normalized k-th minimum.
+  double hk = static_cast<double>(minima_.back()) / std::pow(2.0, 64);
+  TD_CHECK_GT(hk, 0.0);
+  return static_cast<double>(k_ - 1) / hk;
+}
+
+}  // namespace td

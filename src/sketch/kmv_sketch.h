@@ -1,0 +1,77 @@
+// K-minimum-values (KMV) distinct-count sketch: the accuracy-preserving
+// duplicate-insensitive sum operator of Definition 1 in the paper.
+//
+// A KMV sketch keeps the k smallest distinct hash values seen. Union of two
+// sketches is "merge and keep the k smallest", which is associative,
+// commutative and idempotent -- exactly the (+)-operator semantics the
+// multi-path framework requires. The estimate (k-1) * 2^64 / h_(k) has
+// relative standard error about 1/sqrt(k-2) (Bar-Yossef et al. [3],
+// Beyer et al.), so choosing k = O(1/eps_c^2 * log 1/delta_c) yields an
+// (eps_c, delta_c)-estimate, and unioning two (eps_c, delta_c)-estimates
+// yields an (eps_c, delta_c)-estimate of the sum: accuracy preserving.
+//
+// Sums of non-negative integers are supported the way Considine et al. [5]
+// prescribe: value v at key x inserts the v distinct occurrence keys
+// (x, 1) .. (x, v). Insertion cost is O(v); a range-efficient variant (only
+// materializing occurrence hashes below the current k-th minimum) is
+// provided for large values.
+#ifndef TD_SKETCH_KMV_SKETCH_H_
+#define TD_SKETCH_KMV_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace td {
+
+class KmvSketch {
+ public:
+  explicit KmvSketch(size_t k, uint64_t seed = 0);
+
+  /// Number of minima retained for a target relative error (with ~2 sigma
+  /// confidence): k = ceil(4 / eps^2) + 2.
+  static size_t KForRelativeError(double eps);
+
+  /// Inserts one distinct key.
+  void AddKey(uint64_t key);
+
+  /// Inserts `value` distinct occurrence keys (x,1)..(x,value); this is the
+  /// duplicate-insensitive Sum insertion. O(value) hashing.
+  void AddCount(uint64_t key, uint64_t value);
+
+  /// Range-efficient AddCount: skips occurrence keys that cannot enter the
+  /// sketch. Produces the same final sketch as AddCount.
+  void AddCountRangeEfficient(uint64_t key, uint64_t value);
+
+  /// Union (duplicate-insensitive +). Seeds must match.
+  void Merge(const KmvSketch& other);
+
+  /// Estimated number of distinct insertions. Exact when fewer than k
+  /// distinct hashes were observed.
+  double Estimate() const;
+
+  /// Whether the sketch saturated (holds k minima) and is thus estimating
+  /// rather than counting exactly.
+  bool Saturated() const { return minima_.size() >= k_; }
+
+  size_t k() const { return k_; }
+  uint64_t seed() const { return seed_; }
+  size_t size() const { return minima_.size(); }
+  /// Serialized size: k 64-bit hash values (upper bound; unsaturated
+  /// sketches ship only their current minima).
+  size_t EncodedBytes() const { return minima_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& minima() const { return minima_; }
+
+ private:
+  void InsertHash(uint64_t h);
+
+  size_t k_;
+  uint64_t seed_;
+  // Sorted ascending, unique, size <= k_.
+  std::vector<uint64_t> minima_;
+};
+
+}  // namespace td
+
+#endif  // TD_SKETCH_KMV_SKETCH_H_

@@ -1,0 +1,202 @@
+#include "sketch/rle.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace td {
+
+namespace {
+
+constexpr int kPrefixBits = 5;  // prefix length in [0, 31] (32 is re-coded)
+constexpr int kFringeBits = 6;  // fringe length in [0, 32]
+
+// Splits a 32-bit bitmap into (ones-prefix length, fringe bits, fringe len).
+// The fringe spans from the first zero to the last one, inclusive; all bits
+// above the fringe are zero.
+struct SplitBitmap {
+  int prefix;   // leading run of ones
+  int fringe;   // number of fringe bits
+  uint32_t fringe_bits;
+};
+
+SplitBitmap Split(uint32_t bm) {
+  SplitBitmap s;
+  s.prefix = std::countr_one(bm);
+  if (s.prefix >= 32) {
+    // All-ones bitmap: re-code as a 31-bit prefix plus a single fringe one so
+    // the prefix field stays within 5 bits.
+    s.prefix = 31;
+    s.fringe = 1;
+    s.fringe_bits = 1;
+    return s;
+  }
+  uint32_t rest = bm >> s.prefix;  // bit 0 of rest is the first zero
+  int top = rest == 0 ? -1 : 31 - std::countl_zero(rest);
+  s.fringe = top + 1;  // 0 when there are no ones above the prefix
+  s.fringe_bits = rest & (s.fringe >= 32 ? ~0u : ((1u << s.fringe) - 1));
+  return s;
+}
+
+}  // namespace
+
+void BitWriter::WriteBit(bool bit) {
+  size_t byte = bit_count_ / 8;
+  if (byte >= bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byte] |= static_cast<uint8_t>(1u << (bit_count_ % 8));
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  TD_CHECK_GE(nbits, 0);
+  TD_CHECK_LE(nbits, 64);
+  for (int i = 0; i < nbits; ++i) WriteBit((value >> i) & 1);
+}
+
+void BitWriter::WriteGamma(uint64_t n) {
+  TD_CHECK_GE(n, 1u);
+  int len = 63 - std::countl_zero(n);  // floor(log2 n)
+  for (int i = 0; i < len; ++i) WriteBit(false);
+  for (int i = len; i >= 0; --i) WriteBit((n >> i) & 1);
+}
+
+bool BitReader::ReadBit() {
+  TD_CHECK(!AtEnd());
+  bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1;
+  ++pos_;
+  return bit;
+}
+
+uint64_t BitReader::ReadBits(int nbits) {
+  TD_CHECK_GE(nbits, 0);
+  TD_CHECK_LE(nbits, 64);
+  uint64_t v = 0;
+  for (int i = 0; i < nbits; ++i) {
+    if (ReadBit()) v |= (1ULL << i);
+  }
+  return v;
+}
+
+uint64_t BitReader::ReadGamma() {
+  int len = 0;
+  while (!ReadBit()) ++len;
+  uint64_t n = 1;
+  for (int i = 0; i < len; ++i) n = (n << 1) | (ReadBit() ? 1 : 0);
+  return n;
+}
+
+std::vector<uint8_t> EncodeBitmapsRle(const std::vector<uint32_t>& bitmaps) {
+  BitWriter w;
+  for (uint32_t bm : bitmaps) {
+    SplitBitmap s = Split(bm);
+    w.WriteBits(static_cast<uint64_t>(s.prefix), kPrefixBits);
+    w.WriteBits(static_cast<uint64_t>(s.fringe), kFringeBits);
+    w.WriteBits(s.fringe_bits, s.fringe);
+  }
+  return w.bytes();
+}
+
+std::vector<uint32_t> DecodeBitmapsRle(const std::vector<uint8_t>& bytes,
+                                       size_t count) {
+  BitReader r(bytes);
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int prefix = static_cast<int>(r.ReadBits(kPrefixBits));
+    int fringe = static_cast<int>(r.ReadBits(kFringeBits));
+    uint32_t fringe_bits = static_cast<uint32_t>(r.ReadBits(fringe));
+    uint32_t bm = prefix >= 32 ? ~0u : ((prefix == 0) ? 0u : ((1u << prefix) - 1));
+    bm |= fringe_bits << prefix;
+    out.push_back(bm);
+  }
+  return out;
+}
+
+size_t RleEncodedBytes(const std::vector<uint32_t>& bitmaps) {
+  size_t bits = 0;
+  for (uint32_t bm : bitmaps) {
+    SplitBitmap s = Split(bm);
+    bits += kPrefixBits + kFringeBits + static_cast<size_t>(s.fringe);
+  }
+  return (bits + 7) / 8;
+}
+
+namespace {
+
+// Bit b of the transposed (position-major) bank stream.
+inline bool BankBit(const std::vector<uint32_t>& bitmaps, size_t index) {
+  size_t pos = index / bitmaps.size();
+  size_t j = index % bitmaps.size();
+  return (bitmaps[j] >> pos) & 1;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeBankRle(const std::vector<uint32_t>& bitmaps) {
+  BitWriter w;
+  if (bitmaps.empty()) return w.bytes();
+  const size_t total = bitmaps.size() * 32;
+  bool current = BankBit(bitmaps, 0);
+  w.WriteBit(current);
+  uint64_t run = 1;
+  for (size_t i = 1; i < total; ++i) {
+    bool bit = BankBit(bitmaps, i);
+    if (bit == current) {
+      ++run;
+    } else {
+      w.WriteGamma(run);
+      current = bit;
+      run = 1;
+    }
+  }
+  w.WriteGamma(run);
+  return w.bytes();
+}
+
+std::vector<uint32_t> DecodeBankRle(const std::vector<uint8_t>& bytes,
+                                    size_t count) {
+  std::vector<uint32_t> bitmaps(count, 0u);
+  if (count == 0) return bitmaps;
+  BitReader r(bytes);
+  const size_t total = count * 32;
+  bool current = r.ReadBit();
+  size_t i = 0;
+  while (i < total) {
+    uint64_t run = r.ReadGamma();
+    if (current) {
+      for (uint64_t k = 0; k < run && i + k < total; ++k) {
+        size_t idx = i + k;
+        bitmaps[idx % count] |= (1u << (idx / count));
+      }
+    }
+    i += run;
+    current = !current;
+  }
+  return bitmaps;
+}
+
+size_t BankRleBytes(const std::vector<uint32_t>& bitmaps) {
+  if (bitmaps.empty()) return 0;
+  const size_t total = bitmaps.size() * 32;
+  size_t bits = 1;
+  bool current = BankBit(bitmaps, 0);
+  uint64_t run = 1;
+  auto gamma_bits = [](uint64_t n) {
+    int len = 63 - std::countl_zero(n);
+    return static_cast<size_t>(2 * len + 1);
+  };
+  for (size_t i = 1; i < total; ++i) {
+    bool bit = BankBit(bitmaps, i);
+    if (bit == current) {
+      ++run;
+    } else {
+      bits += gamma_bits(run);
+      current = bit;
+      run = 1;
+    }
+  }
+  bits += gamma_bits(run);
+  return (bits + 7) / 8;
+}
+
+}  // namespace td

@@ -1,0 +1,73 @@
+#include "sketch/sample_synopsis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace td {
+
+SampleSynopsis::SampleSynopsis(size_t capacity, uint64_t seed)
+    : capacity_(capacity), seed_(seed) {
+  TD_CHECK_GT(capacity, 0u);
+  entries_.reserve(capacity);
+}
+
+void SampleSynopsis::Add(uint64_t id, double value) {
+  Insert(Entry{Hash64(id, seed_), id, value});
+}
+
+void SampleSynopsis::Merge(const SampleSynopsis& other) {
+  TD_CHECK_EQ(seed_, other.seed_);
+  TD_CHECK_EQ(capacity_, other.capacity_);
+  for (const Entry& e : other.entries_) Insert(e);
+}
+
+void SampleSynopsis::Insert(const Entry& e) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e,
+      [](const Entry& a, const Entry& b) { return a.priority < b.priority; });
+  if (it != entries_.end() && it->priority == e.priority && it->id == e.id) {
+    return;  // duplicate id
+  }
+  if (entries_.size() < capacity_) {
+    entries_.insert(it, e);
+    return;
+  }
+  if (e.priority >= entries_.back().priority) return;
+  entries_.insert(it, e);
+  entries_.pop_back();
+}
+
+double SampleSynopsis::EstimateQuantile(double p) const {
+  TD_CHECK(!entries_.empty());
+  TD_CHECK_GE(p, 0.0);
+  TD_CHECK_LE(p, 1.0);
+  std::vector<double> vals;
+  vals.reserve(entries_.size());
+  for (const Entry& e : entries_) vals.push_back(e.value);
+  std::sort(vals.begin(), vals.end());
+  size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(vals.size())));
+  if (rank == 0) rank = 1;
+  return vals[rank - 1];
+}
+
+double SampleSynopsis::EstimateMean() const {
+  TD_CHECK(!entries_.empty());
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.value;
+  return s / static_cast<double>(entries_.size());
+}
+
+double SampleSynopsis::EstimateCentralMoment(int j) const {
+  TD_CHECK_GE(j, 2);
+  TD_CHECK(!entries_.empty());
+  double m = EstimateMean();
+  double acc = 0.0;
+  for (const Entry& e : entries_) acc += std::pow(e.value - m, j);
+  return acc / static_cast<double>(entries_.size());
+}
+
+}  // namespace td

@@ -1,0 +1,68 @@
+// Duplicate-insensitive uniform sample synopsis (min-wise sampling), as used
+// by the synopsis-diffusion framework [16] for Uniform Sample -- and through
+// it for Quantiles and statistical moments (Section 5 of the paper).
+//
+// Each (id, value) pair gets a priority Hash(id); the synopsis keeps the
+// `capacity` pairs with the smallest priorities. Because the priority is a
+// pure function of the id, merging two synopses (keep smallest priorities,
+// dedup by id) is associative, commutative and idempotent, and the surviving
+// set is a uniform random sample of the union of distinct ids.
+#ifndef TD_SKETCH_SAMPLE_SYNOPSIS_H_
+#define TD_SKETCH_SAMPLE_SYNOPSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace td {
+
+class SampleSynopsis {
+ public:
+  struct Entry {
+    uint64_t priority;  // Hash(id, seed); sort key
+    uint64_t id;        // sampled element identity (e.g., sensor id)
+    double value;       // payload carried with the sample
+  };
+
+  explicit SampleSynopsis(size_t capacity, uint64_t seed = 0);
+
+  /// Adds one element. Re-adding the same id (with the same value) is
+  /// idempotent.
+  void Add(uint64_t id, double value);
+
+  /// Duplicate-insensitive union.
+  void Merge(const SampleSynopsis& other);
+
+  /// p-quantile (0<=p<=1) of the sampled values, nearest-rank. The sample
+  /// must be non-empty.
+  double EstimateQuantile(double p) const;
+
+  /// Mean of sampled values (estimates the population mean).
+  double EstimateMean() const;
+
+  /// j-th central sample moment, j >= 2.
+  double EstimateCentralMoment(int j) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+  uint64_t seed() const { return seed_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Serialized size: (id, value) per entry; priorities are recomputable.
+  size_t EncodedBytes() const {
+    return entries_.size() * (sizeof(uint64_t) + sizeof(double));
+  }
+
+ private:
+  void Insert(const Entry& e);
+
+  size_t capacity_;
+  uint64_t seed_;
+  // Sorted by priority ascending; unique ids; size <= capacity_.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace td
+
+#endif  // TD_SKETCH_SAMPLE_SYNOPSIS_H_

@@ -1,0 +1,117 @@
+#include "td/adaptation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace td {
+
+AdaptAction TdCoarsePolicy::Adapt(const AdaptationFeedback& feedback,
+                                  const AdaptationConfig& config,
+                                  RegionState* region) {
+  if (feedback.pct_contributing < config.threshold) {
+    return region->ExpandAll() > 0 ? AdaptAction::kExpand : AdaptAction::kNone;
+  }
+  if (feedback.pct_contributing_raw >
+      config.threshold + config.shrink_margin) {
+    return region->ShrinkAll() > 0 ? AdaptAction::kShrink : AdaptAction::kNone;
+  }
+  return AdaptAction::kNone;
+}
+
+AdaptAction TdFinePolicy::Adapt(const AdaptationFeedback& feedback,
+                                const AdaptationConfig& config,
+                                RegionState* region) {
+  if (feedback.pct_contributing < config.threshold - config.panic_gap) {
+    // Way below target: the problem is network-wide; go coarse this round.
+    size_t switched = region->ExpandAll();
+    if (switched > 0) return AdaptAction::kExpand;
+  }
+  if (!feedback.missing_valid || feedback.frontier_missing.empty()) {
+    // No frontier reports reached the base station; fall back to coarse
+    // expansion when starving, otherwise wait.
+    if (feedback.pct_contributing < config.threshold) {
+      return region->ExpandAll() > 0 ? AdaptAction::kExpand
+                                     : AdaptAction::kNone;
+    }
+    return AdaptAction::kNone;
+  }
+
+  if (feedback.pct_contributing < config.threshold) {
+    // Expand under the frontier subtrees with the greatest robustness
+    // problems: every frontier node whose missing count reaches
+    // fine_expand_fraction of the aggregated max switches all its (T)
+    // children to M (the paper's "max/2" adaptivity heuristic).
+    double bar = config.fine_expand_fraction *
+                 static_cast<double>(feedback.max_missing);
+    size_t switched = 0;
+    for (const auto& [v, missing] : feedback.frontier_missing) {
+      if (static_cast<double>(missing) < bar || missing == 0) continue;
+      // Children of a frontier M vertex are switchable T vertices
+      // (Observation 1); copy the list because switching mutates no tree
+      // structure but we stay defensive about iteration order.
+      std::vector<NodeId> kids = region->tree().children(v);
+      for (NodeId c : kids) {
+        if (region->IsSwitchableT(c)) {
+          region->SwitchToM(c);
+          ++switched;
+        }
+      }
+    }
+    return switched > 0 ? AdaptAction::kExpand : AdaptAction::kNone;
+  }
+
+  if (feedback.pct_contributing_raw >
+      config.threshold + config.shrink_margin) {
+    // Shrink the healthiest frontier subtrees: frontier nodes whose missing
+    // count equals the aggregated min switch themselves back to T.
+    size_t switched = 0;
+    for (const auto& [v, missing] : feedback.frontier_missing) {
+      if (missing != feedback.min_missing) continue;
+      if (region->IsSwitchableM(v)) {
+        region->SwitchToT(v);
+        ++switched;
+      }
+    }
+    return switched > 0 ? AdaptAction::kShrink : AdaptAction::kNone;
+  }
+  return AdaptAction::kNone;
+}
+
+OscillationDamper::OscillationDamper(const AdaptationConfig& config)
+    : config_(config), current_period_(config.period) {
+  TD_CHECK_GT(config.period, 0u);
+  TD_CHECK_GE(config.max_period_scale, 1u);
+}
+
+bool OscillationDamper::ShouldAdapt(uint32_t epoch) const {
+  if (!has_last_epoch_) return epoch + 1 >= config_.period;
+  return epoch - last_epoch_ >= current_period_;
+}
+
+bool OscillationDamper::ShrinkSuppressed(uint32_t epoch) const {
+  return config_.damping && epoch < shrink_suppressed_until_;
+}
+
+void OscillationDamper::Record(uint32_t epoch, AdaptAction action) {
+  last_epoch_ = epoch;
+  has_last_epoch_ = true;
+  if (!config_.damping) return;
+  bool alternation =
+      (action == AdaptAction::kExpand && last_action_ == AdaptAction::kShrink) ||
+      (action == AdaptAction::kShrink && last_action_ == AdaptAction::kExpand);
+  if (alternation) {
+    current_period_ =
+        std::min(current_period_ * 2, config_.period * config_.max_period_scale);
+    // A shrink that immediately had to be undone (or vice versa) means the
+    // delta sits at its operating point: hold it there for a while (but not
+    // so long that a genuine improvement in network conditions is missed).
+    shrink_suppressed_until_ =
+        epoch + config_.period * (config_.max_period_scale / 2);
+  } else if (action != AdaptAction::kNone) {
+    current_period_ = config_.period;
+  }
+  last_action_ = action;
+}
+
+}  // namespace td

@@ -1,0 +1,54 @@
+// Rings topology for multi-path (synopsis diffusion) aggregation [16].
+//
+// Construction (Section 2): the base station transmits; every node hearing
+// it is in ring 1. Nodes in ring i transmit; any node hearing one of them
+// that is not yet in a ring is in ring i+1. This is exactly BFS level order
+// over the connectivity graph, which is how we compute it.
+#ifndef TD_TOPOLOGY_RINGS_H_
+#define TD_TOPOLOGY_RINGS_H_
+
+#include <vector>
+
+#include "net/connectivity.h"
+
+namespace td {
+
+class Rings {
+ public:
+  /// Level assigned to nodes the base station cannot reach.
+  static constexpr int kUnreachable = -1;
+
+  static Rings Build(const Connectivity& connectivity, NodeId base);
+
+  /// Ring number; 0 is the base station itself.
+  int level(NodeId id) const;
+
+  int max_level() const { return max_level_; }
+  NodeId base() const { return base_; }
+  size_t num_nodes() const { return level_.size(); }
+
+  /// Nodes in ring `level` (level 0 = {base}).
+  const std::vector<NodeId>& NodesAtLevel(int level) const;
+
+  /// Neighbors of `id` exactly one ring closer to the base station: the
+  /// candidate receivers of its multi-path broadcast, and the candidate
+  /// tree parents under the Section 4.1 synchronization constraint
+  /// ("tree links should be a subset of the links in the ring").
+  std::vector<NodeId> UpstreamNeighbors(const Connectivity& connectivity,
+                                        NodeId id) const;
+
+  /// Count of reachable nodes (level >= 0), including the base.
+  size_t num_reachable() const;
+
+ private:
+  Rings() = default;
+
+  NodeId base_ = 0;
+  int max_level_ = 0;
+  std::vector<int> level_;
+  std::vector<std::vector<NodeId>> by_level_;
+};
+
+}  // namespace td
+
+#endif  // TD_TOPOLOGY_RINGS_H_

@@ -1,0 +1,151 @@
+#include "topology/tree_builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "topology/domination.h"
+#include "util/check.h"
+
+namespace td {
+
+namespace {
+
+// Initial attachment: every reachable node picks a parent among its
+// upstream (ring level-1) neighbors, uniformly at random. Processing level
+// by level guarantees parents are attached before children.
+Tree BuildStrictLevelTree(const Connectivity& connectivity, const Rings& rings,
+                          Rng* rng) {
+  Tree tree(connectivity.num_nodes(), rings.base());
+  for (int level = 1; level <= rings.max_level(); ++level) {
+    for (NodeId v : rings.NodesAtLevel(level)) {
+      std::vector<NodeId> up = rings.UpstreamNeighbors(connectivity, v);
+      // BFS levels guarantee at least one upstream neighbor.
+      TD_CHECK(!up.empty());
+      NodeId p = up[rng->NextBounded(up.size())];
+      tree.SetParent(v, p);
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
+                  const TreeBuildOptions& options, Rng* rng) {
+  Tree tree(connectivity.num_nodes(), rings.base());
+  for (int level = 1; level <= rings.max_level(); ++level) {
+    for (NodeId v : rings.NodesAtLevel(level)) {
+      std::vector<NodeId> up = rings.UpstreamNeighbors(connectivity, v);
+      TD_CHECK(!up.empty());
+      // Optionally pick a same-level neighbor instead. Restricting the
+      // choice to neighbors with a smaller id that are already attached
+      // keeps the parent relation acyclic (ids strictly decrease along any
+      // same-level chain).
+      if (options.same_level_parent_prob > 0.0 &&
+          rng->Bernoulli(options.same_level_parent_prob)) {
+        std::vector<NodeId> same;
+        for (NodeId w : connectivity.Neighbors(v)) {
+          if (rings.level(w) == level && w < v && tree.InTree(w)) {
+            same.push_back(w);
+          }
+        }
+        if (!same.empty()) {
+          tree.SetParent(v, same[rng->NextBounded(same.size())]);
+          continue;
+        }
+      }
+      tree.SetParent(v, up[rng->NextBounded(up.size())]);
+    }
+  }
+  return tree;
+}
+
+Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
+                        const TreeBuildOptions& options, Rng* rng) {
+  Tree tree = BuildStrictLevelTree(connectivity, rings, rng);
+
+  const size_t n = connectivity.num_nodes();
+  std::vector<bool> pinned(n, false);
+  std::vector<bool> flagged(n, false);
+
+  Tree best = tree;
+  double best_d = DominationFactor(ComputeHeightHistogram(best));
+
+  for (int round = 0; round < options.switching_rounds; ++round) {
+    std::vector<int> height = tree.ComputeHeights();
+
+    // Pinning pass: a non-flagged node with two or more children of equal
+    // height pins two of them and flags itself (Lemma 2 with d = 2). We
+    // prefer the highest such height so the locked-in structure reaches as
+    // far down the tree as possible, and prefer already-flagged children
+    // (the "two flagged children" rule of the search loop).
+    bool new_flags = false;
+    for (NodeId x = 0; x < n; ++x) {
+      if (flagged[x] || !tree.InTree(x)) continue;
+      std::map<int, std::vector<NodeId>> by_height;
+      for (NodeId c : tree.children(x)) by_height[height[c]].push_back(c);
+      for (auto it = by_height.rbegin(); it != by_height.rend(); ++it) {
+        auto& group = it->second;
+        if (group.size() < 2) continue;
+        std::stable_sort(group.begin(), group.end(),
+                         [&](NodeId a, NodeId b) {
+                           return flagged[a] > flagged[b];
+                         });
+        pinned[group[0]] = true;
+        pinned[group[1]] = true;
+        flagged[x] = true;
+        new_flags = true;
+        break;
+      }
+    }
+
+    // Switching pass: non-pinned nodes move to a random reachable
+    // non-flagged upstream neighbor, making room for new same-height pairs
+    // to form under currently unflagged parents.
+    bool switched = false;
+    for (int level = 1; level <= rings.max_level(); ++level) {
+      for (NodeId v : rings.NodesAtLevel(level)) {
+        if (pinned[v]) continue;
+        std::vector<NodeId> candidates;
+        for (NodeId w : rings.UpstreamNeighbors(connectivity, v)) {
+          if (!flagged[w]) candidates.push_back(w);
+        }
+        if (candidates.empty()) continue;
+        NodeId p = candidates[rng->NextBounded(candidates.size())];
+        if (p != tree.parent(v)) {
+          tree.SetParent(v, p);
+          switched = true;
+        }
+      }
+    }
+
+    if (options.keep_best_round) {
+      double d = DominationFactor(ComputeHeightHistogram(tree));
+      if (d > best_d) {
+        best_d = d;
+        best = tree;
+      }
+    }
+    if (!new_flags && !switched) break;
+  }
+
+  if (!options.keep_best_round) return tree;
+  // The final tree may beat the best recorded one (the loop records before
+  // the last switching pass settles).
+  double final_d = DominationFactor(ComputeHeightHistogram(tree));
+  return final_d >= best_d ? tree : best;
+}
+
+Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
+                  Rng* rng) {
+  TreeBuildOptions options;
+  options.same_level_parent_prob = 0.25;
+  return BuildTagTree(connectivity, rings, options, rng);
+}
+
+Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
+                        Rng* rng) {
+  return BuildOptimizedTree(connectivity, rings, TreeBuildOptions{}, rng);
+}
+
+}  // namespace td

@@ -1,0 +1,59 @@
+// Tree construction algorithms.
+//
+// Two builders, matching the paper's evaluation (Figure 7):
+//  * BuildTagTree      -- the standard TAG construction [10]: each node picks
+//                         a parent it can hear with a smaller ring level, and
+//                         (per Section 6.1.3, "the standard algorithm allows
+//                         choosing a parent from the same level") may pick a
+//                         same-level neighbor with a small probability.
+//  * BuildOptimizedTree - the paper's Section 6.1.3 construction: parents
+//                         strictly from ring level i-1 (so tree links are a
+//                         subset of ring links -- the Section 4.1
+//                         synchronization requirement), followed by
+//                         opportunistic parent switching with pinning and
+//                         flagging that pushes the tree toward 2-domination
+//                         (Lemma 2).
+#ifndef TD_TOPOLOGY_TREE_BUILDER_H_
+#define TD_TOPOLOGY_TREE_BUILDER_H_
+
+#include "topology/rings.h"
+#include "topology/tree.h"
+#include "util/rng.h"
+
+namespace td {
+
+struct TreeBuildOptions {
+  /// Probability that a node with same-level neighbors picks one of them as
+  /// its parent instead of an upstream neighbor (TAG behavior; always 0 in
+  /// the optimized builder).
+  double same_level_parent_prob = 0.0;
+
+  /// Rounds of opportunistic parent switching (optimized builder).
+  int switching_rounds = 8;
+
+  /// Keep the best tree (by domination factor) seen across switching
+  /// rounds rather than the last one. The paper describes the local search
+  /// but not a stopping rule; retaining the best round is a deterministic,
+  /// monotone refinement.
+  bool keep_best_round = true;
+};
+
+/// Standard TAG tree over the connectivity graph.
+Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
+                  const TreeBuildOptions& options, Rng* rng);
+
+/// Section 6.1.3 construction. Guarantees every tree link connects ring
+/// level i to level i-1 (EdgesSubsetOf(connectivity) and ring-level
+/// monotonicity both hold).
+Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
+                        const TreeBuildOptions& options, Rng* rng);
+
+/// Convenience wrappers with default options.
+Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
+                  Rng* rng);
+Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
+                        Rng* rng);
+
+}  // namespace td
+
+#endif  // TD_TOPOLOGY_TREE_BUILDER_H_

@@ -1,0 +1,41 @@
+// Bit-manipulation helpers shared by the sketch implementations.
+#ifndef TD_UTIL_BITS_H_
+#define TD_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace td {
+
+/// Number of trailing zero bits; 64 for x == 0.
+inline int CountTrailingZeros64(uint64_t x) {
+  return x == 0 ? 64 : std::countr_zero(x);
+}
+
+/// Number of leading zero bits; 64 for x == 0.
+inline int CountLeadingZeros64(uint64_t x) {
+  return x == 0 ? 64 : std::countl_zero(x);
+}
+
+/// Position (0-based) of the lowest *unset* bit of `x`.
+/// Used by Flajolet-Martin estimation: R = LowestUnsetBit(bitmap).
+inline int LowestUnsetBit32(uint32_t x) {
+  return std::countr_one(x);  // number of trailing ones == first zero index
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int FloorLog2(uint64_t x) { return 63 - CountLeadingZeros64(x); }
+
+/// ceil(log2(x)) for x >= 1.
+inline int CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+/// Number of set bits.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+inline int PopCount32(uint32_t x) { return std::popcount(x); }
+
+}  // namespace td
+
+#endif  // TD_UTIL_BITS_H_

@@ -1,0 +1,50 @@
+// Lightweight assertion macros used across the library.
+//
+// Library code does not throw exceptions (per project conventions);
+// programmer errors abort with a message, recoverable conditions use
+// td::Status (see status.h).
+#ifndef TD_UTIL_CHECK_H_
+#define TD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace td {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace td
+
+/// Aborts the process if `cond` is false. Enabled in all build types: the
+/// invariants guarded by TD_CHECK are cheap relative to simulation work and
+/// every experiment must be trustworthy even in release builds.
+#define TD_CHECK(cond)                                        \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::td::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                         \
+  } while (0)
+
+#define TD_CHECK_EQ(a, b) TD_CHECK((a) == (b))
+#define TD_CHECK_NE(a, b) TD_CHECK((a) != (b))
+#define TD_CHECK_LT(a, b) TD_CHECK((a) < (b))
+#define TD_CHECK_LE(a, b) TD_CHECK((a) <= (b))
+#define TD_CHECK_GT(a, b) TD_CHECK((a) > (b))
+#define TD_CHECK_GE(a, b) TD_CHECK((a) >= (b))
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define TD_DCHECK(cond) TD_CHECK(cond)
+#else
+#define TD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // TD_UTIL_CHECK_H_

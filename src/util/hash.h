@@ -1,0 +1,52 @@
+// Deterministic 64-bit hashing.
+//
+// Duplicate-insensitive sketches require that the *same* logical item always
+// hashes to the same value on every node, so all sketch randomness is derived
+// from these pure functions (never from a stateful RNG).
+#ifndef TD_UTIL_HASH_H_
+#define TD_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace td {
+
+/// SplitMix64 finalizer: a fast, well-mixed 64->64 bit permutation.
+/// (Steele, Lea, Flood 2014; also the finalizer recommended for seeding
+/// xoshiro generators.)
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of a single 64-bit key.
+inline uint64_t Hash64(uint64_t key) { return Mix64(key); }
+
+/// Hash of a key with a seed (domain separation between sketch instances).
+inline uint64_t Hash64(uint64_t key, uint64_t seed) {
+  return Mix64(key ^ Mix64(seed));
+}
+
+/// Combine two hashes (ordered; boost::hash_combine-style but 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+}
+
+/// Hash of a (key, index) pair, e.g. item occurrence keys (u, node, i).
+inline uint64_t Hash64Pair(uint64_t a, uint64_t b) {
+  return HashCombine(Mix64(a), Mix64(b));
+}
+
+inline uint64_t Hash64Triple(uint64_t a, uint64_t b, uint64_t c) {
+  return HashCombine(Hash64Pair(a, b), Mix64(c));
+}
+
+/// Map a hash to [0, 1). Uses the top 53 bits for a uniform double.
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace td
+
+#endif  // TD_UTIL_HASH_H_

@@ -1,0 +1,164 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace td {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  // SplitMix64 expansion of the seed, per the xoshiro reference code.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    s = z ^ (z >> 31);
+  }
+  // Avoid the all-zero state (cannot occur from SplitMix64, but keep the
+  // invariant explicit).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  TD_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  TD_CHECK_GT(n, 0u);
+  // Lemire-style rejection via threshold on the low word.
+  uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  TD_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Marsaglia polar method; one value per call (the spare is discarded to
+  // keep the stream position independent of call history).
+  for (;;) {
+    double u = Uniform(-1.0, 1.0);
+    double v = Uniform(-1.0, 1.0);
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::Exponential(double lambda) {
+  TD_CHECK_GT(lambda, 0.0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  double np = static_cast<double>(n) * p;
+  if (n <= 64 || np < 16.0) {
+    // Exact: waiting-time method for small np, direct trials for small n.
+    if (n <= 64) {
+      uint64_t k = 0;
+      for (uint64_t i = 0; i < n; ++i) k += Bernoulli(p) ? 1 : 0;
+      return k;
+    }
+    // Waiting-time: number of geometric gaps fitting in n trials.
+    uint64_t k = 0;
+    double log1mp = std::log1p(-p);
+    double sum = 0.0;
+    for (;;) {
+      double u = NextDouble();
+      if (u <= 0.0) u = 0x1.0p-53;
+      sum += std::floor(std::log(u) / log1mp) + 1.0;
+      if (sum > static_cast<double>(n)) return k;
+      ++k;
+    }
+  }
+  // Normal approximation with continuity correction; clamp into range.
+  double mean = np;
+  double sd = std::sqrt(np * (1.0 - p));
+  double x = std::round(Normal(mean, sd));
+  if (x < 0.0) x = 0.0;
+  if (x > static_cast<double>(n)) x = static_cast<double>(n);
+  return static_cast<uint64_t>(x);
+}
+
+uint64_t Rng::Geometric(double p) {
+  TD_CHECK_GT(p, 0.0);
+  if (p >= 1.0) return 0;
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t Rng::ZipfOnce(uint64_t n, double s) {
+  ZipfDistribution z(n, s);
+  return z.Sample(this);
+}
+
+Rng Rng::Fork() {
+  // A fork consumes one output and mixes it so parent and child streams are
+  // decorrelated.
+  return Rng(Mix64(Next()));
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  TD_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace td

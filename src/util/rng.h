@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (placement, message loss,
+// parent switching, data generation) draws from an explicitly seeded Rng so
+// experiments are reproducible bit-for-bit. The generator is xoshiro256**,
+// seeded via SplitMix64 as its authors recommend.
+#ifndef TD_UTIL_RNG_H_
+#define TD_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace td {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, though the class provides its own distributions
+/// to keep results identical across standard library implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; two Rng objects with the same seed produce the
+  /// same stream on every platform.
+  explicit Rng(uint64_t seed = 0xdecafbadULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda);
+
+  /// Binomial(n, p) sample. Exact inversion for small n*p, normal
+  /// approximation with continuity correction for large n (adequate for
+  /// simulation workloads; error << sketch noise).
+  uint64_t Binomial(uint64_t n, double p);
+
+  /// Geometric: number of failures before first success, success prob p.
+  uint64_t Geometric(double p);
+
+  /// Zipf-distributed integer in [1, n] with exponent `s` (s=0 is uniform).
+  /// Uses a precomputed CDF owned by ZipfDistribution for efficiency; this
+  /// convenience method rebuilds the CDF each call and is O(n).
+  uint64_t ZipfOnce(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf distribution with precomputed CDF; sampling is O(log n).
+class ZipfDistribution {
+ public:
+  /// Items are 1..n; probability of item k proportional to 1/k^s.
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace td
+
+#endif  // TD_UTIL_RNG_H_

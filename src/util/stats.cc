@@ -1,0 +1,113 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace td {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(n_) *
+            static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RelativeRmsError(const std::vector<double>& estimates,
+                        double true_value) {
+  TD_CHECK(!estimates.empty());
+  TD_CHECK_NE(true_value, 0.0);
+  double acc = 0.0;
+  for (double v : estimates) {
+    double d = v - true_value;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(estimates.size())) /
+         std::abs(true_value);
+}
+
+double RelativeRmsError(const std::vector<double>& estimates,
+                        const std::vector<double>& true_values) {
+  TD_CHECK(!estimates.empty());
+  TD_CHECK_EQ(estimates.size(), true_values.size());
+  double acc = 0.0;
+  double vbar = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    double d = estimates[i] - true_values[i];
+    acc += d * d;
+    vbar += true_values[i];
+  }
+  vbar /= static_cast<double>(true_values.size());
+  TD_CHECK_NE(vbar, 0.0);
+  return std::sqrt(acc / static_cast<double>(estimates.size())) /
+         std::abs(vbar);
+}
+
+double RelativeError(double estimate, double truth) {
+  TD_CHECK_NE(truth, 0.0);
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double Quantile(std::vector<double> data, double p) {
+  TD_CHECK(!data.empty());
+  TD_CHECK_GE(p, 0.0);
+  TD_CHECK_LE(p, 1.0);
+  std::sort(data.begin(), data.end());
+  // Nearest-rank: smallest value whose cumulative fraction >= p.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(data.size())));
+  if (rank == 0) rank = 1;
+  return data[rank - 1];
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace td

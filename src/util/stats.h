@@ -1,0 +1,63 @@
+// Error metrics and summary statistics used by the evaluation harness.
+#ifndef TD_UTIL_STATS_H_
+#define TD_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace td {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Relative root-mean-square error as defined in Section 7.3 of the paper:
+///   (1/V) * sqrt( sum_t (V_t - V)^2 / T )
+/// where V is the true value and V_t the per-epoch estimates.
+double RelativeRmsError(const std::vector<double>& estimates,
+                        double true_value);
+
+/// Relative RMS with a per-epoch true value (used when the underlying signal
+/// varies over time).
+double RelativeRmsError(const std::vector<double>& estimates,
+                        const std::vector<double>& true_values);
+
+/// |estimate - truth| / truth (truth must be nonzero).
+double RelativeError(double estimate, double truth);
+
+/// Exact p-quantile (0 <= p <= 1) of the data using the nearest-rank method;
+/// used as ground truth for quantile aggregates. Sorts a copy.
+double Quantile(std::vector<double> data, double p);
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation of a vector (0 for size < 2: sample form).
+double StdDev(const std::vector<double>& v);
+
+}  // namespace td
+
+#endif  // TD_UTIL_STATS_H_

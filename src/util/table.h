@@ -1,0 +1,39 @@
+// Aligned-text and CSV table emission for the benchmark harness, so every
+// figure/table bench prints rows in the same shape the paper reports.
+#ifndef TD_UTIL_TABLE_H_
+#define TD_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace td {
+
+/// Collects rows of strings and renders them either as an aligned console
+/// table (for human reading) or CSV (for re-plotting the paper figures).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 4);
+  static std::string Int(long long v);
+
+  void PrintAligned(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace td
+
+#endif  // TD_UTIL_TABLE_H_

@@ -1,0 +1,39 @@
+#include "workload/scenario.h"
+
+#include "topology/tree_builder.h"
+#include "util/rng.h"
+#include "workload/labdata.h"
+#include "workload/synthetic.h"
+
+namespace td {
+
+namespace {
+
+Scenario FromDeployment(Deployment deployment, double radio_range,
+                        uint64_t seed) {
+  Connectivity connectivity =
+      Connectivity::FromRadioRange(deployment, radio_range);
+  Rings rings = Rings::Build(connectivity, deployment.base());
+  Rng tree_rng(seed ^ 0x7ee5ULL);
+  Tree tree = BuildOptimizedTree(connectivity, rings, &tree_rng);
+  Rng tag_rng(seed ^ 0x7a9ULL);
+  Tree tag_tree = BuildTagTree(connectivity, rings, &tag_rng);
+  return Scenario{std::move(deployment), std::move(connectivity),
+                  std::move(rings), std::move(tree), std::move(tag_tree)};
+}
+
+}  // namespace
+
+Scenario MakeSyntheticScenario(uint64_t seed, size_t num_sensors, double width,
+                               double height, double radio_range) {
+  Rng rng(seed);
+  Deployment deployment =
+      MakeSyntheticDeployment(&rng, num_sensors, width, height);
+  return FromDeployment(std::move(deployment), radio_range, seed);
+}
+
+Scenario MakeLabScenario(uint64_t seed) {
+  return FromDeployment(MakeLabDeployment(), kLabRadioRange, seed);
+}
+
+}  // namespace td

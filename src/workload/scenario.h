@@ -1,0 +1,42 @@
+// Bundles a deployment with its derived topologies: the one-stop setup used
+// by examples, tests and benches.
+#ifndef TD_WORKLOAD_SCENARIO_H_
+#define TD_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/connectivity.h"
+#include "net/deployment.h"
+#include "topology/rings.h"
+#include "topology/tree.h"
+
+namespace td {
+
+/// A deployment with connectivity, rings, and the rings-constrained
+/// aggregation tree (Section 6.1.3 construction) plus a TAG tree baseline.
+/// Members are stable once constructed; Network and aggregators hold
+/// pointers into this object, so keep it alive for the experiment.
+struct Scenario {
+  Deployment deployment;
+  Connectivity connectivity;
+  Rings rings;
+  Tree tree;      // optimized, rings-constrained (usable with TD)
+  Tree tag_tree;  // standard TAG construction (baseline)
+
+  size_t num_sensors() const { return deployment.num_sensors(); }
+  NodeId base() const { return deployment.base(); }
+};
+
+/// The paper's Synthetic scenario (600 sensors, 20x20, base at center).
+Scenario MakeSyntheticScenario(uint64_t seed, size_t num_sensors = 600,
+                               double width = 20.0, double height = 20.0,
+                               double radio_range = 3.0);
+
+/// The LabData scenario (54 motes, deterministic layout; `seed` only
+/// affects tree construction randomness).
+Scenario MakeLabScenario(uint64_t seed);
+
+}  // namespace td
+
+#endif  // TD_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,57 @@
+#include "workload/synthetic.h"
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace td {
+
+Deployment MakeRandomDeployment(size_t num_sensors, double width,
+                                double height, Point base, Rng* rng) {
+  TD_CHECK_GT(num_sensors, 0u);
+  std::vector<Point> positions;
+  positions.reserve(num_sensors + 1);
+  positions.push_back(base);
+  for (size_t i = 0; i < num_sensors; ++i) {
+    positions.push_back(Point{rng->Uniform(0.0, width),
+                              rng->Uniform(0.0, height)});
+  }
+  return Deployment(std::move(positions));
+}
+
+Deployment MakeSyntheticDeployment(Rng* rng, size_t num_sensors, double width,
+                                   double height) {
+  return MakeRandomDeployment(num_sensors, width, height,
+                              Point{width / 2.0, height / 2.0}, rng);
+}
+
+void FillDisjointUniformStreams(ItemSource* items, size_t universe_per_node,
+                                size_t stream_length, Rng* rng) {
+  TD_CHECK(items != nullptr);
+  TD_CHECK_GT(universe_per_node, 0u);
+  for (NodeId v = 1; v < items->num_nodes(); ++v) {
+    // Node-private universe: item ids partitioned by node, so the same item
+    // never occurs in two streams.
+    uint64_t base_item = static_cast<uint64_t>(v) * universe_per_node;
+    for (size_t i = 0; i < stream_length; ++i) {
+      items->Add(v, base_item + rng->NextBounded(universe_per_node));
+    }
+  }
+}
+
+void FillSharedZipfStreams(ItemSource* items, uint64_t universe, double s,
+                           size_t stream_length, Rng* rng) {
+  TD_CHECK(items != nullptr);
+  ZipfDistribution zipf(universe, s);
+  for (NodeId v = 1; v < items->num_nodes(); ++v) {
+    for (size_t i = 0; i < stream_length; ++i) {
+      items->Add(v, zipf.Sample(rng));
+    }
+  }
+}
+
+uint64_t SyntheticReading(NodeId node, uint32_t epoch, uint64_t max_value) {
+  TD_CHECK_GT(max_value, 0u);
+  return Hash64Pair(node, epoch) % (max_value + 1);
+}
+
+}  // namespace td

@@ -1,0 +1,236 @@
+// Unit tests for src/net: deployments, connectivity, loss models, delivery
+// and energy accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/connectivity.h"
+#include "net/deployment.h"
+#include "net/loss_model.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace td {
+namespace {
+
+Deployment LineDeployment(size_t n, double spacing = 1.0) {
+  std::vector<Point> p;
+  for (size_t i = 0; i < n; ++i) {
+    p.push_back(Point{spacing * static_cast<double>(i), 0.0});
+  }
+  return Deployment(std::move(p));
+}
+
+// ------------------------------------------------------------ Deployment --
+
+TEST(DeploymentTest, BasicAccessors) {
+  Deployment d = LineDeployment(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.num_sensors(), 4u);
+  EXPECT_EQ(d.base(), 0u);
+  EXPECT_DOUBLE_EQ(d.position(3).x, 3.0);
+}
+
+TEST(DeploymentTest, DistanceAndRect) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_TRUE(r.Contains({0, 10}));
+  EXPECT_FALSE(r.Contains({10.1, 5}));
+}
+
+// ---------------------------------------------------------- Connectivity --
+
+TEST(ConnectivityTest, RadioRangeDisc) {
+  Deployment d = LineDeployment(4, 1.0);  // 0-1-2-3 spaced 1 apart
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  EXPECT_TRUE(c.AreNeighbors(0, 1));
+  EXPECT_FALSE(c.AreNeighbors(0, 2));
+  EXPECT_EQ(c.Neighbors(1).size(), 2u);
+  EXPECT_EQ(c.num_links(), 3u);
+  EXPECT_TRUE(c.IsConnected(0));
+}
+
+TEST(ConnectivityTest, RangeTwoHopsNeighbors) {
+  Deployment d = LineDeployment(4, 1.0);
+  Connectivity c = Connectivity::FromRadioRange(d, 2.5);
+  EXPECT_TRUE(c.AreNeighbors(0, 2));
+  EXPECT_FALSE(c.AreNeighbors(0, 3));
+}
+
+TEST(ConnectivityTest, FromLinksDedupsAndSymmetric) {
+  Connectivity c = Connectivity::FromLinks(3, {{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_EQ(c.num_links(), 2u);
+  EXPECT_TRUE(c.AreNeighbors(0, 1));
+  EXPECT_TRUE(c.AreNeighbors(1, 0));
+}
+
+TEST(ConnectivityTest, Disconnected) {
+  Deployment d = LineDeployment(4, 10.0);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.0);
+  EXPECT_FALSE(c.IsConnected(0));
+  EXPECT_EQ(c.AverageDegree(), 0.0);
+}
+
+// ------------------------------------------------------------ LossModels --
+
+TEST(LossModelTest, GlobalClamps) {
+  GlobalLoss g(1.7);
+  EXPECT_DOUBLE_EQ(g.LossRate(0, 1, 0), 1.0);
+  GlobalLoss h(-0.5);
+  EXPECT_DOUBLE_EQ(h.LossRate(0, 1, 0), 0.0);
+  GlobalLoss p(0.3);
+  EXPECT_DOUBLE_EQ(p.LossRate(5, 6, 99), 0.3);
+}
+
+TEST(LossModelTest, RegionalUsesSenderPosition) {
+  Deployment d({{0, 0}, {5, 5}, {15, 15}});
+  RegionalLoss r(&d, Rect{{0, 0}, {10, 10}}, 0.8, 0.1);
+  EXPECT_DOUBLE_EQ(r.LossRate(1, 2, 0), 0.8);  // sender inside region
+  EXPECT_DOUBLE_EQ(r.LossRate(2, 1, 0), 0.1);  // sender outside region
+}
+
+TEST(LossModelTest, PerLinkWithDefault) {
+  PerLinkLoss pl(0.2);
+  pl.SetLink(0, 1, 0.5);
+  pl.SetLinkSymmetric(1, 2, 0.7);
+  EXPECT_DOUBLE_EQ(pl.LossRate(0, 1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(pl.LossRate(1, 0, 0), 0.2);  // directed
+  EXPECT_DOUBLE_EQ(pl.LossRate(1, 2, 0), 0.7);
+  EXPECT_DOUBLE_EQ(pl.LossRate(2, 1, 0), 0.7);
+}
+
+TEST(LossModelTest, DistanceLossMonotone) {
+  Deployment d = LineDeployment(5, 2.0);
+  DistanceLoss dl(&d, 8.0, 0.05, 0.5, 2.0);
+  double near = dl.LossRate(0, 1, 0);   // distance 2
+  double far = dl.LossRate(0, 3, 0);    // distance 6
+  EXPECT_LT(near, far);
+  EXPECT_GE(near, 0.05);
+  EXPECT_LE(far, 1.0);
+}
+
+TEST(LossModelTest, TimeVaryingSwitchesAtBoundaries) {
+  auto phases = std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>>{
+      {0, std::make_shared<GlobalLoss>(0.0)},
+      {100, std::make_shared<GlobalLoss>(0.3)},
+      {200, std::make_shared<GlobalLoss>(0.9)}};
+  TimeVaryingLoss tv(std::move(phases));
+  EXPECT_DOUBLE_EQ(tv.LossRate(0, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tv.LossRate(0, 1, 99), 0.0);
+  EXPECT_DOUBLE_EQ(tv.LossRate(0, 1, 100), 0.3);
+  EXPECT_DOUBLE_EQ(tv.LossRate(0, 1, 199), 0.3);
+  EXPECT_DOUBLE_EQ(tv.LossRate(0, 1, 5000), 0.9);
+}
+
+TEST(LossModelTest, MaxLossTakesWorse) {
+  auto a = std::make_shared<GlobalLoss>(0.2);
+  auto b = std::make_shared<GlobalLoss>(0.6);
+  MaxLoss m(a, b);
+  EXPECT_DOUBLE_EQ(m.LossRate(0, 1, 0), 0.6);
+}
+
+// --------------------------------------------------------------- Network --
+
+TEST(NetworkTest, LosslessAlwaysDelivers) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(net.Deliver(0, 1, 0));
+}
+
+TEST(NetworkTest, FullLossNeverDelivers) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(1.0), 1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(net.Deliver(0, 1, 0));
+}
+
+TEST(NetworkTest, LossRateStatistics) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.3), 2);
+  int delivered = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) delivered += net.Deliver(0, 1, 0);
+  EXPECT_NEAR(static_cast<double>(delivered) / trials, 0.7, 0.01);
+}
+
+TEST(NetworkTest, DeterministicGivenSeed) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network n1(&d, &c, std::make_shared<GlobalLoss>(0.5), 77);
+  Network n2(&d, &c, std::make_shared<GlobalLoss>(0.5), 77);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(n1.Deliver(0, 1, i), n2.Deliver(0, 1, i));
+  }
+}
+
+TEST(NetworkTest, TransmissionAccounting) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 1);
+  net.CountTransmission(1, 10);    // 1 packet
+  net.CountTransmission(1, 48);    // 1 packet
+  net.CountTransmission(1, 49);    // 2 packets
+  net.CountTransmission(1, 0);     // still 1 packet minimum
+  EXPECT_EQ(net.total_energy().transmissions, 4u);
+  EXPECT_EQ(net.total_energy().packets, 5u);
+  EXPECT_EQ(net.total_energy().bytes, 107u);
+  EXPECT_EQ(net.node_energy(1).transmissions, 4u);
+  EXPECT_EQ(net.node_energy(0).transmissions, 0u);
+}
+
+TEST(NetworkTest, ResetEnergyZeroes) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 1);
+  net.CountTransmission(0, 10);
+  net.ResetEnergy();
+  EXPECT_EQ(net.total_energy().transmissions, 0u);
+  EXPECT_EQ(net.node_energy(0).bytes, 0u);
+}
+
+TEST(NetworkTest, RetriesImproveDelivery) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.5), 3);
+  const int trials = 20000;
+  int no_retry = 0, with_retry = 0;
+  for (int i = 0; i < trials; ++i) {
+    no_retry += net.DeliverWithRetries(0, 1, 0, 0, 10);
+    with_retry += net.DeliverWithRetries(0, 1, 0, 2, 10);
+  }
+  // p(success) = 0.5 vs 1 - 0.5^3 = 0.875.
+  EXPECT_NEAR(no_retry / static_cast<double>(trials), 0.5, 0.02);
+  EXPECT_NEAR(with_retry / static_cast<double>(trials), 0.875, 0.02);
+}
+
+TEST(NetworkTest, RetriesChargeEnergyPerAttempt) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(1.0), 3);
+  EXPECT_FALSE(net.DeliverWithRetries(0, 1, 0, 2, 10));
+  EXPECT_EQ(net.total_energy().transmissions, 3u);  // 1 + 2 retries
+}
+
+TEST(NetworkTest, RetriesStopAfterSuccess) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 3);
+  EXPECT_TRUE(net.DeliverWithRetries(0, 1, 0, 5, 10));
+  EXPECT_EQ(net.total_energy().transmissions, 1u);
+}
+
+TEST(NetworkTest, SetLossModelSwaps) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(1.0), 3);
+  EXPECT_FALSE(net.Deliver(0, 1, 0));
+  net.SetLossModel(std::make_shared<GlobalLoss>(0.0));
+  EXPECT_TRUE(net.Deliver(0, 1, 0));
+}
+
+}  // namespace
+}  // namespace td

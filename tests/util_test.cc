@@ -1,0 +1,389 @@
+// Unit tests for src/util: rng, hashing, stats, bits, node sets, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/node_set.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace td {
+namespace {
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(9);
+  for (uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(n), n);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, BinomialSmallExact) {
+  Rng rng(31);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.Binomial(20, 0.25);
+    EXPECT_LE(k, 20u);
+    stat.Add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+}
+
+TEST(RngTest, BinomialLargeApproximation) {
+  Rng rng(37);
+  RunningStat stat;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.Binomial(100000, 0.4);
+    EXPECT_LE(k, 100000u);
+    stat.Add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(stat.mean(), 40000.0, 100.0);
+  // sd should be ~ sqrt(100000*0.4*0.6) ~ 155
+  EXPECT_NEAR(stat.stddev(), 155.0, 20.0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(43);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(static_cast<double>(rng.Geometric(0.25)));
+  }
+  // mean failures before success = (1-p)/p = 3
+  EXPECT_NEAR(stat.mean(), 3.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(53);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  Rng rng(59);
+  ZipfDistribution z(10, 0.0);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(&rng)];
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k] / 100000.0, 0.1, 0.01) << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, SkewOrdersFrequencies) {
+  Rng rng(61);
+  ZipfDistribution z(100, 1.2);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(&rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // Head item gets roughly 1/H share; just check it dominates.
+  EXPECT_GT(counts[1], 10000);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Hash64(123), Hash64(123));
+  EXPECT_EQ(Hash64(123, 7), Hash64(123, 7));
+  EXPECT_NE(Hash64(123, 7), Hash64(123, 8));
+}
+
+TEST(HashTest, PairOrderMatters) {
+  EXPECT_NE(Hash64Pair(1, 2), Hash64Pair(2, 1));
+}
+
+TEST(HashTest, UnitIntervalMapping) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    double u = HashToUnit(Hash64(k));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashTest, AvalancheRoughlyHalfBitsFlip) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total = 0.0;
+  int samples = 0;
+  for (uint64_t k = 1; k <= 200; ++k) {
+    for (int b = 0; b < 64; b += 7) {
+      uint64_t h1 = Hash64(k);
+      uint64_t h2 = Hash64(k ^ (1ULL << b));
+      total += PopCount64(h1 ^ h2);
+      ++samples;
+    }
+  }
+  EXPECT_NEAR(total / samples, 32.0, 2.0);
+}
+
+TEST(HashTest, FewCollisionsInRange) {
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 100000; ++k) seen.insert(Hash64(k));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+// ------------------------------------------------------------------ Bits --
+
+TEST(BitsTest, CountTrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros64(0), 64);
+  EXPECT_EQ(CountTrailingZeros64(1), 0);
+  EXPECT_EQ(CountTrailingZeros64(8), 3);
+  EXPECT_EQ(CountTrailingZeros64(1ULL << 63), 63);
+}
+
+TEST(BitsTest, LowestUnsetBit) {
+  EXPECT_EQ(LowestUnsetBit32(0u), 0);
+  EXPECT_EQ(LowestUnsetBit32(1u), 1);
+  EXPECT_EQ(LowestUnsetBit32(0b1011u), 2);
+  EXPECT_EQ(LowestUnsetBit32(0xffffffffu), 32);
+}
+
+TEST(BitsTest, FloorCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatMergeMatchesSequential) {
+  RunningStat a, b, all;
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Normal();
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    double x = rng.Normal();
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, RelativeRmsErrorPerfect) {
+  EXPECT_DOUBLE_EQ(RelativeRmsError({10.0, 10.0, 10.0}, 10.0), 0.0);
+}
+
+TEST(StatsTest, RelativeRmsErrorKnownValue) {
+  // Estimates 8 and 12 against truth 10: RMS = sqrt((4+4)/2)/10 = 0.2.
+  EXPECT_NEAR(RelativeRmsError({8.0, 12.0}, 10.0), 0.2, 1e-12);
+}
+
+TEST(StatsTest, RelativeRmsErrorVectorTruth) {
+  EXPECT_NEAR(RelativeRmsError({8.0, 12.0}, {10.0, 10.0}), 0.2, 1e-12);
+}
+
+TEST(StatsTest, QuantileNearestRank) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, StatusOrValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e = Status::NotFound("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kNotFound);
+}
+
+// --------------------------------------------------------------- NodeSet --
+
+TEST(NodeSetTest, SetTestCount) {
+  NodeSet s(130);
+  EXPECT_TRUE(s.Empty());
+  s.Set(0);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(NodeSetTest, UnionMerges) {
+  NodeSet a(100), b(100);
+  a.Set(3);
+  b.Set(3);
+  b.Set(77);
+  a.Union(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Test(77));
+}
+
+TEST(NodeSetTest, ClearEmpties) {
+  NodeSet a(10);
+  a.Set(5);
+  a.Clear();
+  EXPECT_TRUE(a.Empty());
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AlignedAndCsv) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"10", "20"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "x,y\n1,2\n10,20\n");
+  std::ostringstream aligned;
+  t.PrintAligned(aligned);
+  EXPECT_NE(aligned.str().find("10  20"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace td

@@ -1,0 +1,183 @@
+// Tests for src/workload: the LabData reconstruction must exhibit the three
+// properties the paper measures on it (bushy topology with domination
+// factor ~2.25, realistic loss, ~2.3M skewed readings), and the synthetic
+// generators must match their contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/network.h"
+#include "topology/domination.h"
+#include "util/stats.h"
+#include "workload/labdata.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
+
+namespace td {
+namespace {
+
+// --------------------------------------------------------------- LabData --
+
+TEST(LabDataTest, DeploymentShape) {
+  Deployment d = MakeLabDeployment();
+  EXPECT_EQ(d.size(), kLabSensors + 1);
+  EXPECT_EQ(d.num_sensors(), kLabSensors);
+  // Deterministic: two builds are identical.
+  Deployment d2 = MakeLabDeployment();
+  for (NodeId v = 0; v < d.size(); ++v) {
+    EXPECT_DOUBLE_EQ(d.position(v).x, d2.position(v).x);
+    EXPECT_DOUBLE_EQ(d.position(v).y, d2.position(v).y);
+  }
+}
+
+TEST(LabDataTest, TopologyConnectedAndShallow) {
+  Scenario sc = MakeLabScenario(1);
+  EXPECT_TRUE(sc.connectivity.IsConnected(sc.base()));
+  EXPECT_EQ(sc.rings.num_reachable(), kLabSensors + 1);
+  // The real lab deployment was a handful of hops deep.
+  EXPECT_GE(sc.rings.max_level(), 3);
+  EXPECT_LE(sc.rings.max_level(), 8);
+}
+
+TEST(LabDataTest, DominationFactorMatchesPaper) {
+  // Section 7.4.1: "we find the LabData dataset to have a domination
+  // factor of 2.25". Our reconstruction must land in that neighborhood.
+  Scenario sc = MakeLabScenario(1);
+  double d = DominationFactor(ComputeHeightHistogram(sc.tree));
+  EXPECT_GE(d, 1.8) << "lab tree must be bushy";
+  EXPECT_LE(d, 4.0);
+}
+
+TEST(LabDataTest, LossModelHasGrayRegion) {
+  Deployment d = MakeLabDeployment();
+  auto loss = MakeLabLossModel(&d);
+  // Collect loss rates over all in-range links.
+  Connectivity c = Connectivity::FromRadioRange(d, kLabRadioRange);
+  RunningStat rates;
+  for (NodeId a = 0; a < d.size(); ++a) {
+    for (NodeId b : c.Neighbors(a)) {
+      rates.Add(loss->LossRate(a, b, 0));
+    }
+  }
+  // In-building reality: clean gateway links, a moderate gray region on
+  // mote-to-mote links (Zhao & Govindan [23]).
+  EXPECT_LT(rates.min(), 0.1);
+  EXPECT_GT(rates.max(), 0.2);
+  EXPECT_GT(rates.mean(), 0.08);
+  EXPECT_LT(rates.mean(), 0.4);
+}
+
+TEST(LabDataTest, LightReadingsAreDiurnalAndBounded) {
+  RunningStat day, night;
+  for (NodeId v = 1; v <= 5; ++v) {
+    for (uint32_t e = 0; e < 2800; ++e) {
+      uint64_t r = LabLightReading(v, e);
+      EXPECT_LE(r, 1023u);
+      // Day epochs (middle of the cycle) vs night epochs (start/end).
+      if (e > 700 && e < 2100) {
+        day.Add(static_cast<double>(r));
+      } else {
+        night.Add(static_cast<double>(r));
+      }
+    }
+  }
+  EXPECT_GT(day.mean(), night.mean() + 100.0);
+}
+
+TEST(LabDataTest, ReadingsDeterministic) {
+  EXPECT_EQ(LabLightReading(7, 1234), LabLightReading(7, 1234));
+}
+
+TEST(LabDataTest, ItemStreamScaleAndSkew) {
+  ItemSource items(kLabSensors + 1);
+  FillLabItemStreams(&items, 2000);  // scaled down for test speed
+  EXPECT_EQ(items.TotalOccurrences(), kLabSensors * 2000u);
+  EXPECT_TRUE(items.collection(0).empty());  // base has no readings
+  // Light values are skewed: some bins are far heavier than the median.
+  ItemCounts global = items.GlobalCounts();
+  std::vector<double> counts;
+  for (const auto& [u, c] : global) counts.push_back(static_cast<double>(c));
+  double max = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max, 5.0 * Mean(counts));
+}
+
+TEST(LabDataTest, FullScaleStreamIsTwoPointThreeMillion) {
+  ItemSource items(kLabSensors + 1);
+  FillLabItemStreams(&items);  // default scale
+  double total = static_cast<double>(items.TotalOccurrences());
+  EXPECT_NEAR(total, 2.3e6, 0.1e6);
+}
+
+// ------------------------------------------------------------- Synthetic --
+
+TEST(SyntheticTest, DeploymentBounds) {
+  Rng rng(1);
+  Deployment d = MakeSyntheticDeployment(&rng);
+  EXPECT_EQ(d.num_sensors(), 600u);
+  EXPECT_DOUBLE_EQ(d.position(0).x, 10.0);
+  EXPECT_DOUBLE_EQ(d.position(0).y, 10.0);
+  for (NodeId v = 1; v < d.size(); ++v) {
+    EXPECT_GE(d.position(v).x, 0.0);
+    EXPECT_LE(d.position(v).x, 20.0);
+    EXPECT_GE(d.position(v).y, 0.0);
+    EXPECT_LE(d.position(v).y, 20.0);
+  }
+}
+
+TEST(SyntheticTest, ScenarioMostlyReachable) {
+  Scenario sc = MakeSyntheticScenario(2);
+  EXPECT_GT(sc.rings.num_reachable(), 0.95 * sc.deployment.size());
+}
+
+TEST(SyntheticTest, DisjointUniformStreamsAreDisjoint) {
+  ItemSource items(20);
+  Rng rng(3);
+  FillDisjointUniformStreams(&items, 10, 50, &rng);
+  std::set<Item> seen;
+  for (NodeId v = 1; v < 20; ++v) {
+    for (const auto& [u, c] : items.collection(v)) {
+      EXPECT_EQ(seen.count(u), 0u) << "item " << u << " in two streams";
+      seen.insert(u);
+    }
+  }
+  EXPECT_EQ(items.TotalOccurrences(), 19u * 50u);
+}
+
+TEST(SyntheticTest, ZipfStreamsShareUniverse) {
+  ItemSource items(10);
+  Rng rng(4);
+  FillSharedZipfStreams(&items, 20, 1.2, 100, &rng);
+  ItemCounts global = items.GlobalCounts();
+  for (const auto& [u, c] : global) {
+    EXPECT_GE(u, 1u);
+    EXPECT_LE(u, 20u);
+  }
+  // Head heavier than tail.
+  EXPECT_GT(global[1], global.count(20) ? global[20] : 0u);
+}
+
+TEST(SyntheticTest, ReadingDeterministicAndBounded) {
+  EXPECT_EQ(SyntheticReading(3, 9, 100), SyntheticReading(3, 9, 100));
+  for (uint32_t e = 0; e < 1000; ++e) {
+    EXPECT_LE(SyntheticReading(1, e, 100), 100u);
+  }
+}
+
+// --------------------------------------------------------- Item sources --
+
+TEST(ItemSourceTest, GlobalCountsAndFractions) {
+  ItemSource items(3);
+  items.Add(1, 7, 80);
+  items.Add(2, 7, 10);
+  items.Add(2, 8, 10);
+  EXPECT_EQ(items.TotalOccurrences(), 100u);
+  EXPECT_EQ(items.GlobalCounts().at(7), 90u);
+  auto frequent = items.ItemsAboveFraction(0.5);
+  ASSERT_EQ(frequent.size(), 1u);
+  EXPECT_EQ(frequent[0], 7u);
+}
+
+}  // namespace
+}  // namespace td

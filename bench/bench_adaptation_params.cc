@@ -7,48 +7,48 @@
 #include <iostream>
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
-#include "util/stats.h"
+#include "bench_util.h"
 #include "util/table.h"
-#include "workload/scenario.h"
 
 using namespace td;
+using namespace td::bench;
 
 namespace {
 
-struct Row {
-  double rms;
-  double contributing;
-  size_t expansions;
-  size_t shrinks;
-  size_t delta;
-};
+RunResult Run(const Scenario& sc, double threshold, uint32_t period,
+              bool damping) {
+  return Experiment::Builder()
+      .Scenario(&sc)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(Strategy::kTributaryDelta)
+      .GlobalLossRate(0.25)
+      .NetworkSeed(4242)
+      .Threshold(threshold)
+      .AdaptPeriod(period)
+      .Damping(damping)
+      .Warmup(150)
+      .Epochs(100)
+      .Run();
+}
 
-Row Run(const Scenario& sc, double threshold, uint32_t period, bool damping) {
-  CountAggregate agg;
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.25), 4242);
-  TributaryDeltaAggregator<CountAggregate>::Options options;
-  options.adaptation.threshold = threshold;
-  options.adaptation.period = period;
-  options.adaptation.damping = damping;
-  TributaryDeltaAggregator<CountAggregate> eng(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-      options);
-  double truth = static_cast<double>(sc.tree.num_in_tree() - 1);
-  for (uint32_t e = 0; e < 150; ++e) eng.RunEpoch(e);
-  std::vector<double> est;
-  RunningStat contrib;
-  for (uint32_t e = 150; e < 250; ++e) {
-    auto o = eng.RunEpoch(e);
-    est.push_back(o.result);
-    contrib.Add(static_cast<double>(o.true_contributing) / truth);
-  }
-  return Row{RelativeRmsError(est, truth), contrib.mean(),
-             eng.stats().expansions, eng.stats().shrinks,
-             eng.region().delta_size()};
+void AddRow(Table* t, BenchJson* json, const RunResult& r, double threshold,
+            uint32_t period, bool damping) {
+  double contrib = Mean(r.contributing);
+  t->AddRow({Table::Num(threshold, 2), Table::Int(period),
+             damping ? "on" : "off", Table::Num(r.rms, 3),
+             Table::Num(contrib, 3),
+             Table::Int(static_cast<long long>(r.stats.expansions)),
+             Table::Int(static_cast<long long>(r.stats.shrinks)),
+             Table::Int(static_cast<long long>(r.final_delta_size))});
+  json->Entry()
+      .Field("threshold", threshold)
+      .Field("period", static_cast<double>(period))
+      .Field("damping", damping ? "on" : "off")
+      .Field("rms", r.rms)
+      .Field("contrib_frac", contrib)
+      .Field("expansions", static_cast<double>(r.stats.expansions))
+      .Field("shrinks", static_cast<double>(r.stats.shrinks))
+      .Field("delta_final", static_cast<double>(r.final_delta_size));
 }
 
 }  // namespace
@@ -57,26 +57,18 @@ int main() {
   Scenario sc = MakeSyntheticScenario(42, 300);
   std::printf("Adaptation ablation: TD (fine) under steady Global(0.25), "
               "300 sensors,\n150 warm-up epochs + 100 measured\n\n");
+  BenchJson json("adaptation_params");
   Table t({"threshold", "period", "damping", "RMS", "contrib_frac",
            "expands", "shrinks", "delta_final"});
   for (double threshold : {0.5, 0.7, 0.9}) {
     for (uint32_t period : {5u, 10u, 20u}) {
-      Row r = Run(sc, threshold, period, true);
-      t.AddRow({Table::Num(threshold, 2), Table::Int(period), "on",
-                Table::Num(r.rms, 3), Table::Num(r.contributing, 3),
-                Table::Int((long long)r.expansions),
-                Table::Int((long long)r.shrinks),
-                Table::Int((long long)r.delta)});
+      AddRow(&t, &json, Run(sc, threshold, period, true), threshold, period,
+             true);
     }
   }
   for (bool damping : {true, false}) {
     // Mid-band threshold where estimate noise can trigger shrink churn.
-    Row r = Run(sc, 0.7, 5, damping);
-    t.AddRow({"0.70", "5", damping ? "on" : "off", Table::Num(r.rms, 3),
-              Table::Num(r.contributing, 3),
-              Table::Int((long long)r.expansions),
-              Table::Int((long long)r.shrinks),
-              Table::Int((long long)r.delta)});
+    AddRow(&t, &json, Run(sc, 0.7, 5, damping), 0.7, 5, damping);
   }
   t.PrintAligned(std::cout);
   std::printf(

@@ -9,12 +9,10 @@
 #include <cstdio>
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
-#include "workload/scenario.h"
+#include "bench_util.h"
 
 using namespace td;
+using namespace td::bench;
 
 namespace {
 
@@ -34,35 +32,45 @@ void PrintMap(const Scenario& sc, const RegionState& region) {
   for (const auto& row : grid) std::printf("  %s\n", row.c_str());
 }
 
-void RunCase(const Scenario& sc, double p_in, const char* label) {
+void RunCase(const Scenario& sc, double p_in, const char* label,
+             BenchJson* json) {
   Rect region_rect{{0, 0}, {10, 10}};
-  auto loss =
-      std::make_shared<RegionalLoss>(&sc.deployment, region_rect, p_in, 0.05);
-  Network net(&sc.deployment, &sc.connectivity, loss, 99);
-  CountAggregate agg;
-  TributaryDeltaAggregator<CountAggregate>::Options options;
-  options.adaptation.period = 10;
-  TributaryDeltaAggregator<CountAggregate> engine(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-      options);
-  for (uint32_t e = 0; e < 300; ++e) engine.RunEpoch(e);
+  Experiment exp =
+      Experiment::Builder()
+          .Scenario(&sc)
+          .Aggregate(AggregateKind::kCount)
+          .Strategy(Strategy::kTributaryDelta)
+          .LossModel(std::make_shared<RegionalLoss>(&sc.deployment,
+                                                    region_rect, p_in, 0.05))
+          .NetworkSeed(99)
+          .AdaptPeriod(10)
+          .Epochs(1)  // stepped manually below
+          .Build();
+  Engine& engine = exp.engine();
+  engine.RunEpochs(0, 300);
 
+  const RegionState& region = *engine.region();
   size_t in_m = 0, in_total = 0, out_m = 0, out_total = 0;
   for (NodeId v = 1; v < sc.deployment.size(); ++v) {
     if (!sc.tree.InTree(v)) continue;
     bool inside = region_rect.Contains(sc.deployment.position(v));
     (inside ? in_total : out_total) += 1;
-    if (engine.region().IsM(v)) (inside ? in_m : out_m) += 1;
+    if (region.IsM(v)) (inside ? in_m : out_m) += 1;
   }
   std::printf("%s after 300 epochs: delta size %zu\n", label,
-              engine.region().delta_size());
+              engine.delta_size());
   std::printf("  multi-path fraction inside failure region:  %.2f "
               "(%zu/%zu)\n",
               static_cast<double>(in_m) / in_total, in_m, in_total);
   std::printf("  multi-path fraction outside failure region: %.2f "
               "(%zu/%zu)\n\n",
               static_cast<double>(out_m) / out_total, out_m, out_total);
-  PrintMap(sc, engine.region());
+  json->Entry()
+      .Field("loss_in_region", p_in)
+      .Field("delta_size", static_cast<double>(engine.delta_size()))
+      .Field("m_fraction_inside", static_cast<double>(in_m) / in_total)
+      .Field("m_fraction_outside", static_cast<double>(out_m) / out_total);
+  PrintMap(sc, region);
   std::printf("\n");
 }
 
@@ -70,11 +78,12 @@ void RunCase(const Scenario& sc, double p_in, const char* label) {
 
 int main() {
   Scenario sc = MakeSyntheticScenario(42);
+  BenchJson json("fig4_delta_evolution");
   std::printf("Figure 4: TD delta region under localized failures\n");
   std::printf("(failure region = lower-left quadrant {(0,0),(10,10)}; base "
               "at (10,10))\n\n");
-  RunCase(sc, 0.3, "(a) TD & Regional(0.3, 0.05)");
-  RunCase(sc, 0.8, "(b) TD & Regional(0.8, 0.05)");
+  RunCase(sc, 0.3, "(a) TD & Regional(0.3, 0.05)", &json);
+  RunCase(sc, 0.8, "(b) TD & Regional(0.8, 0.05)", &json);
   std::printf("Expected shape (paper): the delta (\"#\") concentrates in "
               "and toward the failure\nquadrant, expanding further at the "
               "higher loss rate.\n");

@@ -22,6 +22,8 @@ int main() {
   const uint32_t kWarmup = 150;
   const uint32_t kMeasure = 60;  // paper collects 100 epochs
 
+  BenchJson json("fig5_loss_sweep");
+
   std::printf("Figure 5(a): RMS error of Count vs Global(p) loss rate\n");
   std::printf("(600 sensors, 20x20, threshold 90%%; first rows reproduce "
               "Figure 2's zoomed range)\n\n");
@@ -29,12 +31,17 @@ int main() {
   for (double p : rates) {
     auto loss = std::make_shared<GlobalLoss>(p);
     std::vector<std::string> row{Table::Num(p, 2)};
-    for (Scheme s :
-         {Scheme::kTag, Scheme::kSd, Scheme::kTdCoarse, Scheme::kTd}) {
+    for (Strategy s : kPaperSchemes) {
       // Pure schemes need no convergence warmup; keep seeds aligned.
-      uint32_t warmup = (s == Scheme::kTag || s == Scheme::kSd) ? 0 : kWarmup;
+      uint32_t warmup = IsAdaptive(s) ? kWarmup : 0;
       auto r = RunCountScheme(sc, s, loss, warmup, kMeasure, 1000 + 7, 5);
       row.push_back(Table::Num(r.rms, 3));
+      json.Entry()
+          .Field("part", "a_global")
+          .Field("loss", p)
+          .Field("strategy", StrategyName(s))
+          .Field("rms", r.rms)
+          .Field("bytes_per_epoch", r.bytes_per_epoch);
     }
     ta.AddRow(std::move(row));
   }
@@ -47,11 +54,16 @@ int main() {
     auto loss =
         std::make_shared<RegionalLoss>(&sc.deployment, region, p, 0.05);
     std::vector<std::string> row{Table::Num(p, 2)};
-    for (Scheme s :
-         {Scheme::kTag, Scheme::kSd, Scheme::kTdCoarse, Scheme::kTd}) {
-      uint32_t warmup = (s == Scheme::kTag || s == Scheme::kSd) ? 0 : kWarmup;
+    for (Strategy s : kPaperSchemes) {
+      uint32_t warmup = IsAdaptive(s) ? kWarmup : 0;
       auto r = RunCountScheme(sc, s, loss, warmup, kMeasure, 2000 + 7, 5);
       row.push_back(Table::Num(r.rms, 3));
+      json.Entry()
+          .Field("part", "b_regional")
+          .Field("loss", p)
+          .Field("strategy", StrategyName(s))
+          .Field("rms", r.rms)
+          .Field("bytes_per_epoch", r.bytes_per_epoch);
     }
     tb.AddRow(std::move(row));
   }

@@ -4,18 +4,14 @@
 // (a) TAG and SD; (b) TD-Coarse vs Best(TAG, SD); (c) TD vs Best(TAG, SD).
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
-#include "util/stats.h"
+#include "bench_util.h"
 #include "util/table.h"
-#include "workload/scenario.h"
 
 using namespace td;
+using namespace td::bench;
 
 namespace {
 
@@ -34,47 +30,31 @@ std::shared_ptr<LossModel> MakeSchedule(const Deployment* dep) {
 
 int main() {
   Scenario sc = MakeSyntheticScenario(42);
-  CountAggregate agg;
   double truth = static_cast<double>(sc.tree.num_in_tree() - 1);
   const uint32_t kEpochs = 400;
 
-  std::vector<double> err_tag(kEpochs), err_sd(kEpochs),
-      err_coarse(kEpochs), err_fine(kEpochs);
-
-  {
-    Network net(&sc.deployment, &sc.connectivity, MakeSchedule(&sc.deployment),
-                7);
-    TreeAggregator<CountAggregate> eng(&sc.tree, &net, &agg);
-    for (uint32_t e = 0; e < kEpochs; ++e) {
-      err_tag[e] = RelativeError(eng.RunEpoch(e).result, truth);
+  std::map<Strategy, std::vector<double>> err;
+  for (Strategy s : kPaperSchemes) {
+    Experiment exp =
+        Experiment::Builder()
+            .Scenario(&sc)
+            .Aggregate(AggregateKind::kCount)
+            .Strategy(s)
+            .LossModel([](const Scenario& scenario) {
+              return MakeSchedule(&scenario.deployment);
+            })
+            .NetworkSeed(7)
+            .AdaptPeriod(10)  // paper adapts every 10 epochs
+            .Epochs(kEpochs)
+            .Build();
+    for (EpochResult& r : exp.engine().RunEpochs(0, kEpochs)) {
+      err[s].push_back(RelativeError(r.value, truth));
     }
   }
-  {
-    Network net(&sc.deployment, &sc.connectivity, MakeSchedule(&sc.deployment),
-                7);
-    MultipathAggregator<CountAggregate> eng(&sc.rings, &net, &agg);
-    for (uint32_t e = 0; e < kEpochs; ++e) {
-      err_sd[e] = RelativeError(eng.RunEpoch(e).result, truth);
-    }
-  }
-  for (bool fine : {false, true}) {
-    Network net(&sc.deployment, &sc.connectivity, MakeSchedule(&sc.deployment),
-                7);
-    TributaryDeltaAggregator<CountAggregate>::Options options;
-    options.adaptation.period = 10;  // paper adapts every 10 epochs
-    std::unique_ptr<AdaptationPolicy> policy;
-    if (fine) {
-      policy = std::make_unique<TdFinePolicy>();
-    } else {
-      policy = std::make_unique<TdCoarsePolicy>();
-    }
-    TributaryDeltaAggregator<CountAggregate> eng(
-        &sc.tree, &sc.rings, &net, &agg, std::move(policy), options);
-    for (uint32_t e = 0; e < kEpochs; ++e) {
-      double err = RelativeError(eng.RunEpoch(e).result, truth);
-      (fine ? err_fine : err_coarse)[e] = err;
-    }
-  }
+  const std::vector<double>& err_tag = err[Strategy::kTag];
+  const std::vector<double>& err_sd = err[Strategy::kSynopsisDiffusion];
+  const std::vector<double>& err_coarse = err[Strategy::kTdCoarse];
+  const std::vector<double>& err_fine = err[Strategy::kTributaryDelta];
 
   std::printf("Figure 6: relative error timeline (sampled every 10 epochs)\n");
   std::printf("schedule: Global(0) | Regional(0.3,0)@100 | Global(0.3)@200 | "
@@ -91,20 +71,27 @@ int main() {
   // Per-phase mean errors summarize convergence behavior.
   std::printf("\nPer-phase mean relative error (last 50 epochs of each "
               "phase, i.e. post-convergence):\n\n");
+  BenchJson json("fig6_timeline");
   Table p({"phase", "TAG", "SD", "TD-Coarse", "TD"});
   const char* names[4] = {"Global(0)      [50,100)", "Regional(0.3,0)[150,200)",
                           "Global(0.3)    [250,300)", "Global(0)      [350,400)"};
   for (int ph = 0; ph < 4; ++ph) {
     uint32_t lo = static_cast<uint32_t>(ph) * 100 + 50;
-    auto mean_err = [&](const std::vector<double>& err) {
+    auto mean_err = [&](const std::vector<double>& e) {
       double s = 0;
-      for (uint32_t e = lo; e < lo + 50; ++e) s += err[e];
+      for (uint32_t t2 = lo; t2 < lo + 50; ++t2) s += e[t2];
       return s / 50;
     };
     p.AddRow({names[ph], Table::Num(mean_err(err_tag), 3),
               Table::Num(mean_err(err_sd), 3),
               Table::Num(mean_err(err_coarse), 3),
               Table::Num(mean_err(err_fine), 3)});
+    for (Strategy s : kPaperSchemes) {
+      json.Entry()
+          .Field("phase", names[ph])
+          .Field("strategy", StrategyName(s))
+          .Field("mean_rel_error", mean_err(err[s]));
+    }
   }
   p.PrintAligned(std::cout);
   std::printf(

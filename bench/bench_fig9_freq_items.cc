@@ -8,16 +8,12 @@
 #include <memory>
 #include <set>
 
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
-#include "freq/freq_aggregate.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "bench_util.h"
 #include "util/table.h"
 #include "workload/labdata.h"
-#include "workload/scenario.h"
 
 using namespace td;
+using namespace td::bench;
 
 namespace {
 
@@ -72,15 +68,10 @@ int main() {
   auto gradient_full = std::make_shared<MinTotalLoadGradient>(kEps, 2.25);
   auto gradient_half =
       std::make_shared<MinTotalLoadGradient>(kEps / 2, 2.25);
-  FrequentItemsAggregate agg_tree(&items, &sc.tree, gradient_full,
-                                  MpParams(kEps, n_upper));
-  FrequentItemsAggregate agg_mp(&items, &sc.tree, gradient_full,
-                                MpParams(kEps, n_upper));
-  FrequentItemsAggregate agg_td(&items, &sc.tree, gradient_half,
-                                MpParams(kEps / 2, n_upper));
 
   const std::vector<double> rates{0.0, 0.1, 0.2, 0.3, 0.4,
                                   0.5, 0.6, 0.7, 0.85, 1.0};
+  BenchJson json("fig9_freq_items");
   for (int retries : {0, 2}) {
     std::printf("Figure 9(%c): %% false negatives vs Global(p)%s\n",
                 retries == 0 ? 'a' : 'b',
@@ -95,41 +86,59 @@ int main() {
       FnFp tag, sd, td;
       for (int trial = 0; trial < kTrials; ++trial) {
         uint64_t seed = 5000 + 97 * static_cast<uint64_t>(trial);
+        auto builder_for = [&](Strategy strategy, double eps) {
+          return Experiment::Builder()
+              .Scenario(&sc)
+              .Aggregate(AggregateKind::kFrequentItems)
+              .Items(&items)
+              .Gradient(eps == kEps ? gradient_full : gradient_half)
+              .FreqParams(MpParams(eps, n_upper))
+              .Strategy(strategy)
+              .LossModel(loss)
+              .NetworkSeed(seed)
+              .TreeRetries(retries);
+        };
         {
-          Network net(&sc.deployment, &sc.connectivity, loss, seed);
-          TreeAggregator<FrequentItemsAggregate>::Options o;
-          o.extra_retransmissions = retries;
-          TreeAggregator<FrequentItemsAggregate> eng(&sc.tree, &net,
-                                                     &agg_tree, o);
-          auto r = Score(eng.RunEpoch(trial).result, items);
-          tag.fn += r.fn / kTrials;
-          tag.fp += r.fp / kTrials;
+          // One measured epoch per trial: items are epoch-independent and
+          // each trial draws a fresh network seed, so trials are i.i.d.
+          auto r = builder_for(Strategy::kTag, kEps).Epochs(1).Run();
+          auto s = Score(r.epochs[0].freq, items);
+          tag.fn += s.fn / kTrials;
+          tag.fp += s.fp / kTrials;
         }
         {
-          Network net(&sc.deployment, &sc.connectivity, loss, seed);
-          MultipathAggregator<FrequentItemsAggregate> eng(&sc.rings, &net,
-                                                          &agg_mp);
-          auto r = Score(eng.RunEpoch(trial).result, items);
-          sd.fn += r.fn / kTrials;
-          sd.fp += r.fp / kTrials;
+          auto r = builder_for(Strategy::kSynopsisDiffusion, kEps)
+                       .Epochs(1)
+                       .Run();
+          auto s = Score(r.epochs[0].freq, items);
+          sd.fn += s.fn / kTrials;
+          sd.fp += s.fp / kTrials;
         }
         {
-          Network net(&sc.deployment, &sc.connectivity, loss, seed);
-          TributaryDeltaAggregator<FrequentItemsAggregate>::Options o;
-          o.adaptation.period = 3;
-          o.tree_extra_retransmissions = retries;
-          TributaryDeltaAggregator<FrequentItemsAggregate> eng(
-              &sc.tree, &sc.rings, &net, &agg_td,
-              std::make_unique<TdFinePolicy>(), o);
-          for (uint32_t e = 0; e < 20; ++e) eng.RunEpoch(e);  // converge
-          auto r = Score(eng.RunEpoch(20 + trial).result, items);
-          td.fn += r.fn / kTrials;
-          td.fp += r.fp / kTrials;
+          // 20 warmup epochs converge the delta, then measure one epoch.
+          auto r = builder_for(Strategy::kTributaryDelta, kEps / 2)
+                       .AdaptPeriod(3)
+                       .Warmup(20)
+                       .Epochs(1)
+                       .Run();
+          auto s = Score(r.epochs[0].freq, items);
+          td.fn += s.fn / kTrials;
+          td.fp += s.fp / kTrials;
         }
       }
       t.AddRow({Table::Num(p, 2), Table::Num(tag.fn, 1), Table::Num(sd.fn, 1),
                 Table::Num(td.fn, 1), Table::Num(tag.fp, 1),
                 Table::Num(sd.fp, 1), Table::Num(td.fp, 1)});
+      for (auto& [name, score] :
+           {std::pair<const char*, FnFp&>{"TAG", tag}, {"SD", sd},
+            {"TD", td}}) {
+        json.Entry()
+            .Field("retries", static_cast<double>(retries))
+            .Field("loss", p)
+            .Field("strategy", name)
+            .Field("false_neg_pct", score.fn)
+            .Field("false_pos_pct", score.fp);
+      }
     }
     t.PrintAligned(std::cout);
     std::printf("\n");

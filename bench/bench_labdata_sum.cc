@@ -5,79 +5,55 @@
 #include <iostream>
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
-#include "util/stats.h"
+#include "bench_util.h"
 #include "util/table.h"
 #include "workload/labdata.h"
-#include "workload/scenario.h"
 
 using namespace td;
+using namespace td::bench;
 
 int main() {
   Scenario sc = MakeLabScenario(42);
   auto reading = [](NodeId v, uint32_t e) { return LabLightReading(v, e); };
-  SumAggregate agg(reading);
-
-  auto truth_at = [&](uint32_t e) {
-    double t = 0;
-    for (NodeId v = 1; v < sc.deployment.size(); ++v) {
-      t += static_cast<double>(LabLightReading(v, e));
-    }
-    return t;
-  };
 
   const uint32_t kWarmup = 100;
   const uint32_t kMeasure = 100;
 
-  auto measure = [&](auto&& run_epoch, uint32_t warmup) {
-    std::vector<double> est, truth;
-    for (uint32_t e = 0; e < warmup; ++e) run_epoch(e);
-    for (uint32_t e = warmup; e < warmup + kMeasure; ++e) {
-      est.push_back(run_epoch(e));
-      truth.push_back(truth_at(e));
-    }
-    return RelativeRmsError(est, truth);
+  auto run = [&](Strategy strategy) {
+    return Experiment::Builder()
+        .Scenario(&sc)
+        .Aggregate(AggregateKind::kSum)
+        .Reading(reading)
+        .Strategy(strategy)
+        .LossModel([](const Scenario& scenario) {
+          return MakeLabLossModel(&scenario.deployment);
+        })
+        .NetworkSeed(19)
+        .AdaptPeriod(10)
+        .Warmup(IsAdaptive(strategy) ? kWarmup : 0)
+        .Epochs(kMeasure)
+        .Run();
   };
 
+  BenchJson json("labdata_sum");
   Table t({"scheme", "RMS_measured", "RMS_paper", "delta_size_final"});
-
-  {
-    Network net(&sc.deployment, &sc.connectivity,
-                MakeLabLossModel(&sc.deployment), 19);
-    TreeAggregator<SumAggregate> eng(&sc.tree, &net, &agg);
-    double rms =
-        measure([&](uint32_t e) { return eng.RunEpoch(e).result; }, 0);
-    t.AddRow({"TAG", Table::Num(rms, 3), "0.50", "-"});
-  }
-  {
-    Network net(&sc.deployment, &sc.connectivity,
-                MakeLabLossModel(&sc.deployment), 19);
-    MultipathAggregator<SumAggregate> eng(&sc.rings, &net, &agg);
-    double rms =
-        measure([&](uint32_t e) { return eng.RunEpoch(e).result; }, 0);
-    t.AddRow({"SD", Table::Num(rms, 3), "0.12", "-"});
-  }
-  for (bool fine : {false, true}) {
-    Network net(&sc.deployment, &sc.connectivity,
-                MakeLabLossModel(&sc.deployment), 19);
-    TributaryDeltaAggregator<SumAggregate>::Options options;
-    options.adaptation.period = 10;
-    std::unique_ptr<AdaptationPolicy> policy;
-    if (fine) {
-      policy = std::make_unique<TdFinePolicy>();
-    } else {
-      policy = std::make_unique<TdCoarsePolicy>();
-    }
-    TributaryDeltaAggregator<SumAggregate> eng(
-        &sc.tree, &sc.rings, &net, &agg, std::move(policy), options);
-    double rms =
-        measure([&](uint32_t e) { return eng.RunEpoch(e).result; }, kWarmup);
-    t.AddRow({fine ? "TD" : "TD-Coarse", Table::Num(rms, 3), "0.10",
-              Table::Int(static_cast<long long>(eng.region().delta_size()))});
+  const std::pair<Strategy, const char*> kRows[] = {
+      {Strategy::kTag, "0.50"},
+      {Strategy::kSynopsisDiffusion, "0.12"},
+      {Strategy::kTdCoarse, "0.10"},
+      {Strategy::kTributaryDelta, "0.10"},
+  };
+  for (auto& [strategy, paper_rms] : kRows) {
+    RunResult r = run(strategy);
+    t.AddRow({StrategyName(strategy), Table::Num(r.rms, 3), paper_rms,
+              IsAdaptive(strategy)
+                  ? Table::Int(static_cast<long long>(r.final_delta_size))
+                  : "-"});
+    json.Entry()
+        .Field("strategy", StrategyName(strategy))
+        .Field("rms", r.rms)
+        .Field("bytes_per_epoch", r.bytes_per_epoch)
+        .Field("delta_size_final", static_cast<double>(r.final_delta_size));
   }
 
   std::printf("Section 7.3 real scenario: Sum over LabData (54 motes, "

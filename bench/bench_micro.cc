@@ -6,9 +6,7 @@
 
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
+#include "api/experiment.h"
 #include "freq/gk_summary.h"
 #include "freq/precision_gradient.h"
 #include "freq/summary.h"
@@ -16,7 +14,6 @@
 #include "sketch/fm_sketch.h"
 #include "sketch/kmv_sketch.h"
 #include "sketch/rle.h"
-#include "td/tributary_delta_aggregator.h"
 #include "workload/scenario.h"
 
 namespace td {
@@ -119,39 +116,49 @@ void BM_TopologyBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyBuild)->Arg(150)->Arg(600);
 
+Experiment MakeEpochExperiment(Strategy strategy) {
+  return Experiment::Builder()
+      .Synthetic(7, 600)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(strategy)
+      .GlobalLossRate(0.2)
+      .NetworkSeed(1)
+      .Epochs(1)  // stepped manually by the benchmark loop
+      .Build();
+}
+
 void BM_TreeEpoch(benchmark::State& state) {
-  Scenario sc = MakeSyntheticScenario(7, 600);
-  CountAggregate agg;
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.2), 1);
-  TreeAggregator<CountAggregate> eng(&sc.tree, &net, &agg);
+  Experiment exp = MakeEpochExperiment(Strategy::kTag);
   uint32_t e = 0;
-  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+  for (auto _ : state) benchmark::DoNotOptimize(exp.engine().RunEpoch(e++));
 }
 BENCHMARK(BM_TreeEpoch);
 
 void BM_MultipathEpoch(benchmark::State& state) {
-  Scenario sc = MakeSyntheticScenario(7, 600);
-  CountAggregate agg;
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.2), 1);
-  MultipathAggregator<CountAggregate> eng(&sc.rings, &net, &agg);
+  Experiment exp = MakeEpochExperiment(Strategy::kSynopsisDiffusion);
   uint32_t e = 0;
-  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+  for (auto _ : state) benchmark::DoNotOptimize(exp.engine().RunEpoch(e++));
 }
 BENCHMARK(BM_MultipathEpoch);
 
 void BM_TributaryDeltaEpoch(benchmark::State& state) {
-  Scenario sc = MakeSyntheticScenario(7, 600);
-  CountAggregate agg;
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.2), 1);
-  TributaryDeltaAggregator<CountAggregate> eng(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>());
+  Experiment exp = MakeEpochExperiment(Strategy::kTributaryDelta);
   uint32_t e = 0;
-  for (auto _ : state) benchmark::DoNotOptimize(eng.RunEpoch(e++));
+  for (auto _ : state) benchmark::DoNotOptimize(exp.engine().RunEpoch(e++));
 }
 BENCHMARK(BM_TributaryDeltaEpoch);
+
+void BM_TributaryDeltaBatch(benchmark::State& state) {
+  // RunEpochs over the reusable inbox scratch: the batch-sweep hot path.
+  Experiment exp = MakeEpochExperiment(Strategy::kTributaryDelta);
+  uint32_t e = 0;
+  const uint32_t kBatch = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp.engine().RunEpochs(e, kBatch));
+    e += kBatch;
+  }
+}
+BENCHMARK(BM_TributaryDeltaBatch);
 
 }  // namespace
 }  // namespace td

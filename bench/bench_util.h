@@ -1,97 +1,120 @@
 // Shared helpers for the figure/table reproduction benches.
 //
-// Every bench prints the series the corresponding paper figure reports,
-// as an aligned table (and the same rows re-plot directly as CSV via
-// Table::PrintCsv if needed). Absolute numbers depend on the simulator
-// substrate; EXPERIMENTS.md records paper-vs-measured for each figure.
+// Every bench prints the series the corresponding paper figure reports, as
+// an aligned table (and the same rows re-plot directly as CSV via
+// Table::PrintCsv if needed). Benches additionally emit machine-readable
+// BENCH_<name>.json records (per-configuration RMS error, bytes/epoch, ...)
+// so the perf/accuracy trajectory can be tracked across PRs. Absolute
+// numbers depend on the simulator substrate; EXPERIMENTS.md records
+// paper-vs-measured for each figure.
+//
+// All engines are constructed through the td::Experiment facade; benches
+// never wire the class templates by hand.
 #ifndef TD_BENCH_BENCH_UTIL_H_
 #define TD_BENCH_BENCH_UTIL_H_
 
-#include <functional>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "agg/aggregates.h"
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "api/experiment.h"
 #include "util/stats.h"
 #include "workload/scenario.h"
 
 namespace td {
 namespace bench {
 
-enum class Scheme { kTag, kSd, kTdCoarse, kTd };
+/// The four schemes the paper's figures compare, in figure column order.
+inline constexpr Strategy kPaperSchemes[] = {
+    Strategy::kTag, Strategy::kSynopsisDiffusion, Strategy::kTdCoarse,
+    Strategy::kTributaryDelta};
 
-inline const char* SchemeName(Scheme s) {
-  switch (s) {
-    case Scheme::kTag:
-      return "TAG";
-    case Scheme::kSd:
-      return "SD";
-    case Scheme::kTdCoarse:
-      return "TD-Coarse";
-    case Scheme::kTd:
-      return "TD";
-  }
-  return "?";
-}
-
-struct RunResult {
-  std::vector<double> estimates;        // per measured epoch
-  std::vector<double> contributing;     // ground-truth fraction
-  double rms = 0.0;                     // vs provided truth
-};
-
-/// Runs `scheme` for warmup+measure epochs on a Count query and returns the
-/// measured-epoch estimates. TD schemes adapt every `adapt_period` epochs.
-inline RunResult RunCountScheme(const Scenario& sc, Scheme scheme,
+/// Runs `strategy` for warmup+measure epochs on a Count query over `sc` and
+/// returns the measured-epoch series. Adaptive strategies adapt every
+/// `adapt_period` epochs.
+inline RunResult RunCountScheme(const Scenario& sc, Strategy strategy,
                                 std::shared_ptr<LossModel> loss,
                                 uint32_t warmup, uint32_t measure,
                                 uint64_t seed, uint32_t adapt_period = 10) {
-  CountAggregate agg;
-  Network net(&sc.deployment, &sc.connectivity, std::move(loss), seed);
-  RunResult out;
-  double truth = static_cast<double>(sc.tree.num_in_tree() - 1);
-  auto record = [&](double est, size_t contrib) {
-    out.estimates.push_back(est);
-    out.contributing.push_back(static_cast<double>(contrib) / truth);
-  };
-  if (scheme == Scheme::kTag) {
-    TreeAggregator<CountAggregate> eng(&sc.tree, &net, &agg);
-    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
-    for (uint32_t e = warmup; e < warmup + measure; ++e) {
-      auto o = eng.RunEpoch(e);
-      record(o.result, o.true_contributing);
-    }
-  } else if (scheme == Scheme::kSd) {
-    MultipathAggregator<CountAggregate> eng(&sc.rings, &net, &agg);
-    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
-    for (uint32_t e = warmup; e < warmup + measure; ++e) {
-      auto o = eng.RunEpoch(e);
-      record(o.result, o.true_contributing);
-    }
-  } else {
-    TributaryDeltaAggregator<CountAggregate>::Options options;
-    options.adaptation.period = adapt_period;
-    std::unique_ptr<AdaptationPolicy> policy;
-    if (scheme == Scheme::kTdCoarse) {
-      policy = std::make_unique<TdCoarsePolicy>();
-    } else {
-      policy = std::make_unique<TdFinePolicy>();
-    }
-    TributaryDeltaAggregator<CountAggregate> eng(
-        &sc.tree, &sc.rings, &net, &agg, std::move(policy), options);
-    for (uint32_t e = 0; e < warmup; ++e) eng.RunEpoch(e);
-    for (uint32_t e = warmup; e < warmup + measure; ++e) {
-      auto o = eng.RunEpoch(e);
-      record(o.result, o.true_contributing);
-    }
-  }
-  out.rms = RelativeRmsError(out.estimates, truth);
-  return out;
+  return Experiment::Builder()
+      .Scenario(&sc)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(strategy)
+      .LossModel(std::move(loss))
+      .NetworkSeed(seed)
+      .AdaptPeriod(adapt_period)
+      .Warmup(warmup)
+      .Epochs(measure)
+      .Run();
 }
+
+/// Collects flat records and writes them as BENCH_<name>.json on
+/// destruction (or an explicit Write):
+///
+///   BenchJson json("fig5_loss_sweep");
+///   json.Entry().Field("loss", p).Field("strategy", "TAG").Field("rms", r);
+///
+/// Numbers stay numbers in the output so downstream tooling can diff runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  BenchJson& Entry() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  BenchJson& Field(const std::string& key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    records_.back().emplace_back(key, buf);
+    return *this;
+  }
+
+  BenchJson& Field(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    records_.back().emplace_back(key, std::move(quoted));
+    return *this;
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (size_t k = 0; k < records_[i].size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %s", k == 0 ? "" : ", ",
+                     records_[i][k].first.c_str(),
+                     records_[i][k].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[wrote %s]\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  // key -> pre-rendered JSON literal, insertion-ordered.
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace td

@@ -11,9 +11,8 @@
 #include <memory>
 #include <set>
 
-#include "freq/freq_aggregate.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "api/experiment.h"
+#include "util/rng.h"
 #include "workload/scenario.h"
 
 using namespace td;
@@ -45,34 +44,38 @@ int main() {
               static_cast<unsigned long long>(items.TotalOccurrences()));
 
   // Frequent-items aggregate: eps = 0.2% split evenly between the tree
-  // (Min Total-load gradient) and multi-path (Algorithm 2) parts.
+  // (Min Total-load gradient) and multi-path (Algorithm 2) parts. The
+  // builder converges the delta for 40 warmup epochs, then the measured
+  // epoch takes the consensus reading.
   const double kSupport = 0.01, kEps = 0.002;
-  auto gradient = std::make_shared<MinTotalLoadGradient>(kEps / 2, 2.0);
   MultipathFreqParams mp;
   mp.eps = kEps / 2;
   mp.n_upper = items.TotalOccurrences() * 2;
   mp.item_bitmaps = 16;
-  FrequentItemsAggregate agg(&items, &sc.tree, gradient, mp);
+  RunResult run =
+      Experiment::Builder()
+          .Scenario(&sc)
+          .Aggregate(AggregateKind::kFrequentItems)
+          .Items(&items)
+          .Gradient(std::make_shared<MinTotalLoadGradient>(kEps / 2, 2.0))
+          .FreqParams(mp)
+          .Strategy(Strategy::kTributaryDelta)
+          .GlobalLossRate(0.25)
+          .NetworkSeed(31)
+          .AdaptPeriod(5)
+          .Warmup(40)
+          .Epochs(1)
+          .Run();
 
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.25), 31);
-  TributaryDeltaAggregator<FrequentItemsAggregate>::Options options;
-  options.adaptation.period = 5;
-  TributaryDeltaAggregator<FrequentItemsAggregate> engine(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-      options);
-
-  // Converge the delta, then take a consensus reading.
-  for (uint32_t e = 0; e < 40; ++e) engine.RunEpoch(e);
-  auto out = engine.RunEpoch(40);
-  auto alerts = ReportFrequent(out.result.counts, out.result.total, kSupport,
-                               kEps);
+  const FreqResult& consensus = run.epochs[0].freq;
+  auto alerts =
+      ReportFrequent(consensus.counts, consensus.total, kSupport, kEps);
 
   std::printf("\nconsensus signatures above %.0f%% support (N~=%.0f):\n",
-              kSupport * 100, out.result.total);
+              kSupport * 100, consensus.total);
   for (Item u : alerts) {
     std::printf("  signature 0x%04llX  estimated count %.0f\n",
-                static_cast<unsigned long long>(u), out.result.counts.at(u));
+                static_cast<unsigned long long>(u), consensus.counts.at(u));
   }
   auto truth = items.ItemsAboveFraction(kSupport);
   std::set<Item> alert_set(alerts.begin(), alerts.end());

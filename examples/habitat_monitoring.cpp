@@ -1,17 +1,16 @@
 // Habitat monitoring: continuous Average / Min / Max microclimate readings
 // over the LabData deployment while a localized failure (interference near
 // one corner of the lab) comes and goes. Demonstrates multiple concurrent
-// aggregates over one adapted topology and the Section 4.1 point that one
-// delta region serves many queries.
+// aggregates over one shared radio environment: three Experiment-built
+// engines ride the same Network (and the adapted Average engine carries
+// the Section 4.1 point that one delta region serves many queries; Min/Max
+// run as plain tree queries alongside it).
 #include <cstdio>
 #include <memory>
 
-#include "agg/aggregates.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "api/experiment.h"
 #include "util/stats.h"
 #include "workload/labdata.h"
-#include "workload/scenario.h"
 
 using namespace td;
 
@@ -31,38 +30,47 @@ int main() {
   phases.emplace_back(0, nominal);
   phases.emplace_back(80, interference);
   phases.emplace_back(160, nominal);
-  Network network(&lab.deployment, &lab.connectivity,
-                  std::make_shared<TimeVaryingLoss>(std::move(phases)),
-                  /*seed=*/99);
+  auto network = std::make_shared<Network>(
+      &lab.deployment, &lab.connectivity,
+      std::make_shared<TimeVaryingLoss>(std::move(phases)), /*seed=*/99);
 
   auto light = [](NodeId v, uint32_t e) { return LabLightReading(v, e); };
-  auto light_real = [](NodeId v, uint32_t e) {
-    return static_cast<double>(LabLightReading(v, e));
-  };
 
-  AverageAggregate avg(light);
-  ExtremumAggregate mn(ExtremumAggregate::Kind::kMin, light_real);
-  ExtremumAggregate mx(ExtremumAggregate::Kind::kMax, light_real);
-
-  // One adapted engine drives the region; Min/Max ride on the same delta
-  // via their own engines sharing the network (their conversion functions
-  // are identities, so any region shape is valid for them).
-  TributaryDeltaAggregator<AverageAggregate>::Options options;
-  options.adaptation.period = 10;
-  TributaryDeltaAggregator<AverageAggregate> avg_engine(
-      &lab.tree, &lab.rings, &network, &avg, std::make_unique<TdFinePolicy>(),
-      options);
-  TributaryDeltaAggregator<ExtremumAggregate> min_engine(
-      &lab.tree, &lab.rings, &network, &mn, std::make_unique<StaticPolicy>());
-  TributaryDeltaAggregator<ExtremumAggregate> max_engine(
-      &lab.tree, &lab.rings, &network, &mx, std::make_unique<StaticPolicy>());
+  // One adapted engine drives a delta for the Average query; Min/Max ride
+  // the same network as tree queries (their partials are single doubles, so
+  // tree aggregation is already both cheap and duplicate-insensitive).
+  Experiment avg = Experiment::Builder()
+                       .Scenario(&lab)
+                       .Aggregate(AggregateKind::kAvg)
+                       .Reading(light)
+                       .Strategy(Strategy::kTributaryDelta)
+                       .Network(network)
+                       .AdaptPeriod(10)
+                       .Epochs(1)  // stepped manually below
+                       .Build();
+  Experiment mn = Experiment::Builder()
+                      .Scenario(&lab)
+                      .Aggregate(AggregateKind::kMin)
+                      .Reading(light)
+                      .Strategy(Strategy::kTag)
+                      .Network(network)
+                      .Epochs(1)
+                      .Build();
+  Experiment mx = Experiment::Builder()
+                      .Scenario(&lab)
+                      .Aggregate(AggregateKind::kMax)
+                      .Reading(light)
+                      .Strategy(Strategy::kTag)
+                      .Network(network)
+                      .Epochs(1)
+                      .Build();
 
   std::printf("%-7s %-11s %-11s %-9s %-9s %-11s %s\n", "epoch", "avg_est",
               "avg_true", "min_est", "max_est", "delta_size", "phase");
   for (uint32_t e = 0; e < 240; ++e) {
-    auto a = avg_engine.RunEpoch(e);
-    auto lo = min_engine.RunEpoch(e);
-    auto hi = max_engine.RunEpoch(e);
+    EpochResult a = avg.engine().RunEpoch(e);
+    EpochResult lo = mn.engine().RunEpoch(e);
+    EpochResult hi = mx.engine().RunEpoch(e);
     if (e % 20 == 0) {
       RunningStat truth;
       for (NodeId v = 1; v < lab.deployment.size(); ++v) {
@@ -70,8 +78,8 @@ int main() {
       }
       const char* phase = (e >= 80 && e < 160) ? "INTERFERENCE" : "nominal";
       std::printf("%-7u %-11.1f %-11.1f %-9.0f %-9.0f %-11zu %s\n", e,
-                  a.result, truth.mean(), lo.result, hi.result,
-                  avg_engine.region().delta_size(), phase);
+                  a.value, truth.mean(), lo.value, hi.value,
+                  avg.engine().delta_size(), phase);
     }
   }
   std::printf("\nDuring the interference window the delta region expands "

@@ -4,68 +4,58 @@
 //
 //   $ ./quickstart
 //
-// Walks through the full public API surface: deployment -> connectivity ->
-// rings + tree -> network with a loss model -> TD engine with an adaptation
-// policy -> per-epoch answers.
+// Walks through the public API surface: the Experiment builder wires a
+// deployment -> connectivity -> rings + tree scenario, a lossy network, and
+// a strategy-selected engine; the Engine facade then steps epochs and
+// exposes the region, adaptation stats and energy accounting.
 #include <cstdio>
-#include <memory>
 
-#include "agg/aggregates.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "api/experiment.h"
 #include "util/stats.h"
-#include "workload/scenario.h"
 
 using namespace td;
 
 int main() {
-  // 1. A deployment: 400 sensors in a 20x20 field, base station centered.
-  //    MakeSyntheticScenario derives connectivity (disc radio model), the
-  //    rings topology for multi-path aggregation, and a rings-constrained
-  //    aggregation tree (Section 6.1.3 construction).
-  Scenario scenario = MakeSyntheticScenario(/*seed=*/7, /*num_sensors=*/400);
+  // One declarative build: 400 sensors in a 20x20 field (base station
+  // centered, disc radio model, Section 6.1.3 aggregation tree), 20% global
+  // message loss, a Count aggregate, and the fine-grained Tributary-Delta
+  // strategy targeting >= 90% of sensors contributing.
+  Experiment experiment = Experiment::Builder()
+                              .Synthetic(/*seed=*/7, /*num_sensors=*/400)
+                              .Aggregate(AggregateKind::kCount)
+                              .Strategy(Strategy::kTributaryDelta)
+                              .GlobalLossRate(0.20)
+                              .NetworkSeed(1234)
+                              .Threshold(0.9)
+                              .AdaptPeriod(10)
+                              .Epochs(1)  // stepped manually below
+                              .Build();
+
+  const Scenario& scenario = experiment.scenario();
   std::printf("deployment: %zu sensors, %d rings, tree height %d\n",
               scenario.num_sensors(), scenario.rings.max_level(),
               scenario.tree.ComputeHeights()[scenario.base()]);
 
-  // 2. A lossy network: 20% of transmissions dropped, everywhere.
-  Network network(&scenario.deployment, &scenario.connectivity,
-                  std::make_shared<GlobalLoss>(0.20), /*seed=*/1234);
-
-  // 3. The aggregate: Count (how many sensors are alive). Tree partials
-  //    are exact integers; the multi-path synopsis is an FM sketch bank.
-  CountAggregate count;
-
-  // 4. The Tributary-Delta engine with the fine-grained TD policy: the
-  //    base station targets >= 90% of sensors contributing and grows or
-  //    shrinks the multi-path delta region every 10 epochs.
-  TributaryDeltaAggregator<CountAggregate>::Options options;
-  options.adaptation.threshold = 0.9;
-  options.adaptation.period = 10;
-  TributaryDeltaAggregator<CountAggregate> engine(
-      &scenario.tree, &scenario.rings, &network, &count,
-      std::make_unique<TdFinePolicy>(), options);
-
-  // 5. Run a continuous query.
+  Engine& engine = experiment.engine();
   double truth = static_cast<double>(scenario.tree.num_in_tree() - 1);
   std::printf("true count: %.0f\n\n", truth);
   std::printf("%-8s %-10s %-14s %-12s %s\n", "epoch", "answer", "contributing",
               "delta_size", "relative_error");
   for (uint32_t epoch = 0; epoch <= 120; ++epoch) {
-    auto outcome = engine.RunEpoch(epoch);
+    EpochResult outcome = engine.RunEpoch(epoch);
     if (epoch % 10 == 0) {
-      std::printf("%-8u %-10.1f %-14zu %-12zu %.3f\n", epoch, outcome.result,
-                  outcome.true_contributing, engine.region().delta_size(),
-                  RelativeError(outcome.result, truth));
+      std::printf("%-8u %-10.1f %-14zu %-12zu %.3f\n", epoch, outcome.value,
+                  outcome.true_contributing, engine.delta_size(),
+                  RelativeError(outcome.value, truth));
     }
   }
 
+  const EnergyStats& energy = experiment.network().total_energy();
   std::printf("\nadaptation: %zu expansions, %zu shrinks; energy: %llu "
               "transmissions, %llu packets\n",
               engine.stats().expansions, engine.stats().shrinks,
-              static_cast<unsigned long long>(
-                  network.total_energy().transmissions),
-              static_cast<unsigned long long>(network.total_energy().packets));
+              static_cast<unsigned long long>(energy.transmissions),
+              static_cast<unsigned long long>(energy.packets));
   std::printf("\nThe delta grew until ~90%% of sensors contribute; answers "
               "stabilize near the truth\nwith tree-exact tributaries plus a "
               "robust multi-path delta.\n");

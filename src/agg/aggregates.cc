@@ -251,6 +251,53 @@ size_t AverageAggregate::SynopsisBytes(const Synopsis& s) const {
   return s.sum_sketch.EncodedBytes() + s.count_sketch.EncodedBytes();
 }
 
+// --------------------------------------------------------- Unique count --
+
+UniqueCountAggregate::UniqueCountAggregate(UintReadingFn reading,
+                                           int sketch_bitmaps, uint64_t seed)
+    : reading_(std::move(reading)),
+      sketch_bitmaps_(sketch_bitmaps),
+      seed_(seed) {}
+
+UniqueCountAggregate::TreePartial UniqueCountAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  FmSketch s(sketch_bitmaps_, seed_);
+  // Keyed by the value: two sensors observing the same reading insert the
+  // same item, which is exactly what makes the count "unique".
+  s.AddKey(reading_(node, epoch));
+  return s;
+}
+
+UniqueCountAggregate::TreePartial UniqueCountAggregate::EmptyTreePartial()
+    const {
+  return FmSketch(sketch_bitmaps_, seed_);
+}
+
+void UniqueCountAggregate::MergeTree(TreePartial* into,
+                                     const TreePartial& from) const {
+  into->Merge(from);
+}
+
+UniqueCountAggregate::Synopsis UniqueCountAggregate::MakeSynopsis(
+    NodeId node, uint32_t epoch) const {
+  return MakeTreePartial(node, epoch);
+}
+
+UniqueCountAggregate::Synopsis UniqueCountAggregate::EmptySynopsis() const {
+  return FmSketch(sketch_bitmaps_, seed_);
+}
+
+void UniqueCountAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  into->Merge(from);
+}
+
+UniqueCountAggregate::Result UniqueCountAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  FmSketch u = p;
+  u.Merge(s);
+  return u.Estimate();
+}
+
 // ------------------------------------------------------- Uniform sample --
 
 UniformSampleAggregate::UniformSampleAggregate(RealReadingFn reading,

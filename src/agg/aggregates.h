@@ -188,6 +188,44 @@ class AverageAggregate {
   uint64_t seed_;
 };
 
+/// UNIQUE COUNT: number of distinct reading values network-wide. An FM
+/// sketch keyed by the value is duplicate-insensitive by nature, so the
+/// tree and multi-path algorithms share one synopsis type and conversion is
+/// the identity (like Min/Max and Uniform Sample); the tree side trades the
+/// usual exactness for a bounded-size partial result.
+class UniqueCountAggregate {
+ public:
+  using TreePartial = FmSketch;
+  using Synopsis = FmSketch;
+  using Result = double;
+
+  explicit UniqueCountAggregate(UintReadingFn reading,
+                                int sketch_bitmaps = FmSketch::kDefaultBitmaps,
+                                uint64_t seed = 5);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const;
+  TreePartial EmptyTreePartial() const;
+  void MergeTree(TreePartial* into, const TreePartial& from) const;
+  void FinalizeTreePartial(TreePartial* /*p*/, NodeId /*node*/) const {}
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const;
+  Synopsis EmptySynopsis() const;
+  void Fuse(Synopsis* into, const Synopsis& from) const;
+  Synopsis Convert(const TreePartial& p) const { return p; }
+
+  Result EvaluateTree(const TreePartial& p) const { return p.Estimate(); }
+  Result EvaluateSynopsis(const Synopsis& s) const { return s.Estimate(); }
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial& p) const { return p.EncodedBytes(); }
+  size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
+
+ private:
+  UintReadingFn reading_;
+  int sketch_bitmaps_;
+  uint64_t seed_;
+};
+
 /// UNIFORM SAMPLE of (sensor, reading) pairs; the basis for Quantiles and
 /// statistical moments in the framework (Section 5). Min-wise sampling is
 /// duplicate-insensitive, so tree partials and synopses share one type and

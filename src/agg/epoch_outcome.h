@@ -8,6 +8,15 @@
 
 namespace td {
 
+/// Bookkeeping for the engines' reusable per-epoch inbox scratch: `builds`
+/// counts full (re)allocations of the size-n inbox arrays, `reuses` counts
+/// epochs served from the existing buffers. A batch run over one engine
+/// must show builds == 1 regardless of epoch count.
+struct ScratchStats {
+  size_t builds = 0;
+  size_t reuses = 0;
+};
+
 template <typename Result>
 struct EpochOutcome {
   Result result{};

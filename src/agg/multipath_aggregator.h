@@ -14,6 +14,7 @@
 #ifndef TD_AGG_MULTIPATH_AGGREGATOR_H_
 #define TD_AGG_MULTIPATH_AGGREGATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "agg/aggregate.h"
@@ -44,14 +45,13 @@ class MultipathAggregator {
   using Outcome = EpochOutcome<typename A::Result>;
 
   Outcome RunEpoch(uint32_t epoch) {
-    const size_t n = rings_->num_nodes();
     const NodeId base = rings_->base();
     const Connectivity& conn = network_->connectivity();
 
-    std::vector<typename A::Synopsis> inbox(n, aggregate_->EmptySynopsis());
-    std::vector<FmSketch> inbox_contrib(
-        n, FmSketch(FmSketch::kDefaultBitmaps, contrib_seed_));
-    std::vector<NodeSet> inbox_set(n, NodeSet(n));
+    PrepareScratch();
+    std::vector<typename A::Synopsis>& inbox = scratch_.inbox;
+    std::vector<FmSketch>& inbox_contrib = scratch_.inbox_contrib;
+    std::vector<NodeSet>& inbox_set = scratch_.inbox_set;
 
     for (int level = rings_->max_level(); level >= 1; --level) {
       for (NodeId v : rings_->NodesAtLevel(level)) {
@@ -89,12 +89,41 @@ class MultipathAggregator {
   }
 
   const Rings& rings() const { return *rings_; }
+  const ScratchStats& scratch_stats() const { return scratch_stats_; }
 
  private:
+  /// Per-epoch inbox state, hoisted into a reusable member so batch runs
+  /// never re-allocate the size-n arrays or their elements' buffers.
+  struct Scratch {
+    std::vector<typename A::Synopsis> inbox;
+    std::vector<FmSketch> inbox_contrib;
+    std::vector<NodeSet> inbox_set;
+  };
+
+  void PrepareScratch() {
+    const size_t n = rings_->num_nodes();
+    if (scratch_.inbox_set.size() == n) {
+      ++scratch_stats_.reuses;
+    } else {
+      ++scratch_stats_.builds;
+      empty_synopsis_.emplace(aggregate_->EmptySynopsis());
+      empty_contrib_ = FmSketch(FmSketch::kDefaultBitmaps, contrib_seed_);
+      empty_set_ = NodeSet(n);
+    }
+    scratch_.inbox.assign(n, *empty_synopsis_);
+    scratch_.inbox_contrib.assign(n, empty_contrib_);
+    scratch_.inbox_set.assign(n, empty_set_);
+  }
+
   const Rings* rings_;
   Network* network_;
   const A* aggregate_;
   uint64_t contrib_seed_;
+  Scratch scratch_;
+  ScratchStats scratch_stats_;
+  std::optional<typename A::Synopsis> empty_synopsis_;
+  FmSketch empty_contrib_;
+  NodeSet empty_set_;
 };
 
 }  // namespace td

@@ -8,6 +8,7 @@
 #ifndef TD_AGG_TREE_AGGREGATOR_H_
 #define TD_AGG_TREE_AGGREGATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "agg/aggregate.h"
@@ -45,13 +46,12 @@ class TreeAggregator {
   /// Runs one aggregation epoch; deterministic given the network seed and
   /// call sequence.
   Outcome RunEpoch(uint32_t epoch) {
-    const size_t n = tree_->num_nodes();
     const NodeId root = tree_->root();
 
-    std::vector<typename A::TreePartial> inbox(
-        n, aggregate_->EmptyTreePartial());
-    std::vector<uint64_t> inbox_count(n, 0);
-    std::vector<NodeSet> inbox_set(n, NodeSet(n));
+    PrepareScratch();
+    std::vector<typename A::TreePartial>& inbox = scratch_.inbox;
+    std::vector<uint64_t>& inbox_count = scratch_.inbox_count;
+    std::vector<NodeSet>& inbox_set = scratch_.inbox_set;
 
     for (NodeId v : tree_->TopologicalChildrenFirst()) {
       if (v == root) continue;
@@ -90,12 +90,40 @@ class TreeAggregator {
   }
 
   const Tree& tree() const { return *tree_; }
+  const ScratchStats& scratch_stats() const { return scratch_stats_; }
 
  private:
+  /// Per-epoch inbox state, hoisted into a reusable member so batch runs
+  /// never re-allocate the size-n arrays (or their elements' buffers:
+  /// assign() into same-sized elements reuses their heap storage).
+  struct Scratch {
+    std::vector<typename A::TreePartial> inbox;
+    std::vector<uint64_t> inbox_count;
+    std::vector<NodeSet> inbox_set;
+  };
+
+  void PrepareScratch() {
+    const size_t n = tree_->num_nodes();
+    if (scratch_.inbox_count.size() == n) {
+      ++scratch_stats_.reuses;
+    } else {
+      ++scratch_stats_.builds;
+      empty_partial_.emplace(aggregate_->EmptyTreePartial());
+      empty_set_ = NodeSet(n);
+    }
+    scratch_.inbox.assign(n, *empty_partial_);
+    scratch_.inbox_count.assign(n, 0);
+    scratch_.inbox_set.assign(n, empty_set_);
+  }
+
   const Tree* tree_;
   Network* network_;
   const A* aggregate_;
   Options options_;
+  Scratch scratch_;
+  ScratchStats scratch_stats_;
+  std::optional<typename A::TreePartial> empty_partial_;
+  NodeSet empty_set_;
 };
 
 }  // namespace td

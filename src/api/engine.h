@@ -1,0 +1,262 @@
+// The type-erased aggregation engine: one runtime interface over the three
+// class templates (TreeAggregator, MultipathAggregator,
+// TributaryDeltaAggregator) so benches, examples and sweeps can select a
+// Strategy by value without re-wiring template plumbing per scheme.
+//
+// The concrete impls wrap the existing engines without touching their hot
+// loops; type erasure costs one virtual dispatch per epoch (thousands of
+// message simulations), which is noise. Results come back as EpochResult, a
+// strategy- and aggregate-agnostic currency: numeric aggregates fill
+// `value`, frequent items additionally fill `freq`.
+#ifndef TD_API_ENGINE_H_
+#define TD_API_ENGINE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/epoch_outcome.h"
+#include "agg/multipath_aggregator.h"
+#include "agg/tree_aggregator.h"
+#include "api/strategy.h"
+#include "freq/freq_aggregate.h"
+#include "net/network.h"
+#include "td/adaptation.h"
+#include "td/tributary_delta_aggregator.h"
+#include "util/check.h"
+#include "workload/scenario.h"
+
+namespace td {
+
+/// Type-erased outcome of one aggregation epoch.
+struct EpochResult {
+  uint32_t epoch = 0;
+
+  /// The numeric answer (for FrequentItems: the estimated total N).
+  double value = 0.0;
+
+  /// Ground truth count of sensors accounted for in `value`.
+  size_t true_contributing = 0;
+
+  /// What the base station believes contributed (exact tree counts plus an
+  /// FM estimate for delta regions).
+  double reported_contributing = 0.0;
+
+  /// Full frequent-items evaluation; empty for every other aggregate.
+  FreqResult freq;
+};
+
+/// Adaptation counters; all zeros for non-adaptive strategies.
+struct EngineStats {
+  size_t expansions = 0;
+  size_t shrinks = 0;
+  size_t decisions = 0;
+};
+
+/// Knobs shared by every strategy; fields a strategy does not use are
+/// ignored (e.g. `adaptation` under kTag).
+struct EngineOptions {
+  /// Extra per-message tree retransmissions; -1 picks the strategy default
+  /// (2 for kTagRetx, 0 otherwise).
+  int tree_extra_retransmissions = -1;
+
+  /// Base-station adaptation config (kTributaryDelta / kTdCoarse).
+  AdaptationConfig adaptation;
+
+  /// Seed for the piggybacked contributing-count sketch.
+  uint64_t contrib_seed = 0x510c;
+
+  /// See TributaryDeltaAggregator::Options::sensor_population.
+  size_t sensor_population = 0;
+};
+
+/// The facade every bench, example and integration test runs against.
+/// Concrete instances come from MakeEngine (any Aggregate) or from
+/// Experiment::Builder (the AggregateKind registry).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Runs one aggregation epoch (plus, for adaptive strategies, one
+  /// adaptation decision when the damper allows).
+  virtual EpochResult RunEpoch(uint32_t epoch) = 0;
+
+  /// Runs epochs [first, first + n): byte-identical to n sequential
+  /// RunEpoch calls. All size-n inbox state is scratch reused across the
+  /// batch -- see scratch_stats().
+  std::vector<EpochResult> RunEpochs(uint32_t first, uint32_t n) {
+    std::vector<EpochResult> out;
+    out.reserve(n);
+    for (uint32_t e = 0; e < n; ++e) out.push_back(RunEpoch(first + e));
+    return out;
+  }
+
+  virtual Strategy strategy() const = 0;
+  virtual Network& network() const = 0;
+
+  /// Adaptation counters (zeros when !IsAdaptive(strategy())).
+  virtual EngineStats stats() const { return {}; }
+
+  /// Inbox-scratch reuse counters of the wrapped engine.
+  virtual ScratchStats scratch_stats() const = 0;
+
+  /// Tributary/delta region, or nullptr for non-adaptive strategies.
+  virtual const RegionState* region() const { return nullptr; }
+  virtual RegionState* mutable_region() { return nullptr; }
+
+  /// Delta size (1 == base station only); 0 when there is no region.
+  size_t delta_size() const {
+    const RegionState* r = region();
+    return r ? r->delta_size() : 0;
+  }
+};
+
+namespace api_internal {
+
+inline void AssignResult(EpochResult* r, double v) { r->value = v; }
+inline void AssignResult(EpochResult* r, const FreqResult& f) {
+  r->value = f.total;
+  r->freq = f;
+}
+
+template <typename Outcome>
+EpochResult ToEpochResult(uint32_t epoch, const Outcome& o) {
+  EpochResult r;
+  r.epoch = epoch;
+  AssignResult(&r, o.result);
+  r.true_contributing = o.true_contributing;
+  r.reported_contributing = o.reported_contributing;
+  return r;
+}
+
+template <Aggregate A>
+class TreeEngine final : public Engine {
+ public:
+  TreeEngine(const Scenario* sc, std::shared_ptr<Network> network,
+             const A* aggregate, Strategy strategy,
+             const EngineOptions& options)
+      : network_(std::move(network)),
+        strategy_(strategy),
+        inner_(&sc->tree, network_.get(), aggregate,
+               typename TreeAggregator<A>::Options{
+                   .extra_retransmissions =
+                       options.tree_extra_retransmissions >= 0
+                           ? options.tree_extra_retransmissions
+                           : (strategy == Strategy::kTagRetx ? 2 : 0)}) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return strategy_; }
+  Network& network() const override { return *network_; }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+
+ private:
+  std::shared_ptr<Network> network_;
+  Strategy strategy_;
+  TreeAggregator<A> inner_;
+};
+
+template <Aggregate A>
+class MultipathEngine final : public Engine {
+ public:
+  MultipathEngine(const Scenario* sc, std::shared_ptr<Network> network,
+                  const A* aggregate, const EngineOptions& options)
+      : network_(std::move(network)),
+        inner_(&sc->rings, network_.get(), aggregate, options.contrib_seed) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return Strategy::kSynopsisDiffusion; }
+  Network& network() const override { return *network_; }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+
+ private:
+  std::shared_ptr<Network> network_;
+  MultipathAggregator<A> inner_;
+};
+
+template <Aggregate A>
+class TributaryDeltaEngine final : public Engine {
+ public:
+  TributaryDeltaEngine(const Scenario* sc, std::shared_ptr<Network> network,
+                       const A* aggregate, Strategy strategy,
+                       const EngineOptions& options)
+      : network_(std::move(network)),
+        strategy_(strategy),
+        inner_(&sc->tree, &sc->rings, network_.get(), aggregate,
+               MakePolicy(strategy),
+               typename TributaryDeltaAggregator<A>::Options{
+                   .adaptation = options.adaptation,
+                   .tree_extra_retransmissions =
+                       options.tree_extra_retransmissions >= 0
+                           ? options.tree_extra_retransmissions
+                           : 0,
+                   .contrib_seed = options.contrib_seed,
+                   .sensor_population = options.sensor_population}) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return strategy_; }
+  Network& network() const override { return *network_; }
+  EngineStats stats() const override {
+    return EngineStats{.expansions = inner_.stats().expansions,
+                       .shrinks = inner_.stats().shrinks,
+                       .decisions = inner_.stats().decisions};
+  }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+  const RegionState* region() const override { return &inner_.region(); }
+  RegionState* mutable_region() override { return &inner_.region(); }
+
+ private:
+  static std::unique_ptr<AdaptationPolicy> MakePolicy(Strategy s) {
+    if (s == Strategy::kTdCoarse) return std::make_unique<TdCoarsePolicy>();
+    return std::make_unique<TdFinePolicy>();
+  }
+
+  std::shared_ptr<Network> network_;
+  Strategy strategy_;
+  TributaryDeltaAggregator<A> inner_;
+};
+
+}  // namespace api_internal
+
+/// Builds a type-erased engine running `strategy` over `aggregate`. The
+/// scenario and aggregate must outlive the engine; the network is shared so
+/// several engines can ride one radio environment (and its RNG sequence).
+template <Aggregate A>
+std::unique_ptr<Engine> MakeEngine(Strategy strategy, const Scenario& scenario,
+                                   std::shared_ptr<Network> network,
+                                   const A* aggregate,
+                                   EngineOptions options = {}) {
+  TD_CHECK(network != nullptr);
+  TD_CHECK(aggregate != nullptr);
+  switch (strategy) {
+    case Strategy::kTag:
+    case Strategy::kTagRetx:
+      return std::make_unique<api_internal::TreeEngine<A>>(
+          &scenario, std::move(network), aggregate, strategy, options);
+    case Strategy::kSynopsisDiffusion:
+      return std::make_unique<api_internal::MultipathEngine<A>>(
+          &scenario, std::move(network), aggregate, options);
+    case Strategy::kTributaryDelta:
+    case Strategy::kTdCoarse:
+      return std::make_unique<api_internal::TributaryDeltaEngine<A>>(
+          &scenario, std::move(network), aggregate, strategy, options);
+  }
+  TD_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace td
+
+#endif  // TD_API_ENGINE_H_

@@ -1,0 +1,334 @@
+#include "api/experiment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "agg/aggregates.h"
+#include "topology/domination.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace td {
+
+std::vector<double> RunResult::estimates() const {
+  std::vector<double> out;
+  out.reserve(epochs.size());
+  for (const EpochResult& e : epochs) out.push_back(e.value);
+  return out;
+}
+
+// ----------------------------------------------------------------- Builder
+
+Experiment::Builder& Experiment::Builder::Scenario(
+    const td::Scenario* scenario) {
+  TD_CHECK(scenario != nullptr);
+  scenario_source_ = ScenarioSource::kExternal;
+  external_scenario_ = scenario;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Synthetic(uint64_t seed,
+                                                    size_t num_sensors) {
+  scenario_source_ = ScenarioSource::kSynthetic;
+  scenario_seed_ = seed;
+  num_sensors_ = num_sensors;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Lab(uint64_t seed) {
+  scenario_source_ = ScenarioSource::kLab;
+  scenario_seed_ = seed;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Aggregate(AggregateKind kind) {
+  kind_ = kind;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Reading(UintReadingFn reading) {
+  reading_ = std::move(reading);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::RealReading(RealReadingFn reading) {
+  real_reading_ = std::move(reading);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Items(const ItemSource* items) {
+  items_ = items;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Gradient(
+    std::shared_ptr<PrecisionGradient> gradient) {
+  gradient_ = std::move(gradient);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::FreqParams(
+    MultipathFreqParams params) {
+  freq_params_ = params;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::SketchBitmaps(int bitmaps) {
+  sketch_bitmaps_ = bitmaps;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Strategy(td::Strategy strategy) {
+  strategy_ = strategy;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Options(EngineOptions options) {
+  options_ = options;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Adaptation(AdaptationConfig config) {
+  options_.adaptation = config;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::AdaptPeriod(uint32_t period) {
+  options_.adaptation.period = period;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Threshold(double threshold) {
+  options_.adaptation.threshold = threshold;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Damping(bool on) {
+  options_.adaptation.damping = on;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::TreeRetries(int extra) {
+  options_.tree_extra_retransmissions = extra;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::LossModel(
+    std::shared_ptr<td::LossModel> model) {
+  loss_ = std::move(model);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::LossModel(
+    std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>
+        factory) {
+  loss_factory_ = std::move(factory);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::GlobalLossRate(double p) {
+  loss_ = std::make_shared<GlobalLoss>(p);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::NetworkSeed(uint64_t seed) {
+  network_seed_ = seed;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Network(
+    std::shared_ptr<td::Network> network) {
+  shared_network_ = std::move(network);
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Warmup(uint32_t epochs) {
+  warmup_ = epochs;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Epochs(uint32_t epochs) {
+  epochs_ = epochs;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Truth(
+    std::function<double(uint32_t)> truth) {
+  truth_ = std::move(truth);
+  return *this;
+}
+
+Experiment Experiment::Builder::Build() {
+  Experiment exp;
+
+  // Scenario.
+  TD_CHECK(scenario_source_ != ScenarioSource::kNone);
+  switch (scenario_source_) {
+    case ScenarioSource::kExternal:
+      exp.scenario_ = external_scenario_;
+      break;
+    case ScenarioSource::kSynthetic:
+      exp.owned_scenario_ = std::make_unique<td::Scenario>(
+          MakeSyntheticScenario(scenario_seed_, num_sensors_));
+      exp.scenario_ = exp.owned_scenario_.get();
+      break;
+    case ScenarioSource::kLab:
+      exp.owned_scenario_ =
+          std::make_unique<td::Scenario>(MakeLabScenario(scenario_seed_));
+      exp.scenario_ = exp.owned_scenario_.get();
+      break;
+    case ScenarioSource::kNone:
+      break;
+  }
+  const td::Scenario& sc = *exp.scenario_;
+
+  // Network.
+  if (shared_network_) {
+    TD_CHECK(loss_ == nullptr && !loss_factory_);
+    exp.network_ = shared_network_;
+  } else {
+    std::shared_ptr<td::LossModel> loss = loss_;
+    if (loss_factory_) {
+      TD_CHECK(loss == nullptr);
+      loss = loss_factory_(sc);
+    }
+    if (loss == nullptr) loss = std::make_shared<GlobalLoss>(0.0);
+    exp.network_ = std::make_shared<td::Network>(
+        &sc.deployment, &sc.connectivity, std::move(loss), network_seed_);
+  }
+
+  // The sensors every default ground truth ranges over.
+  std::vector<NodeId> sensors;
+  for (NodeId v = 0; v < sc.deployment.size(); ++v) {
+    if (sc.tree.InTree(v) && v != sc.base()) sensors.push_back(v);
+  }
+  exp.population_ = static_cast<double>(sensors.size());
+  TD_CHECK_GT(sensors.size(), 0u);
+
+  const int bitmaps =
+      sketch_bitmaps_ > 0 ? sketch_bitmaps_ : FmSketch::kDefaultBitmaps;
+  UintReadingFn reading = reading_;
+  RealReadingFn real_reading = real_reading_;
+  if (!real_reading && reading) {
+    real_reading = [reading](NodeId v, uint32_t e) {
+      return static_cast<double>(reading(v, e));
+    };
+  }
+
+  auto install = [&]<typename A>(std::shared_ptr<A> aggregate) {
+    exp.engine_ =
+        MakeEngine(strategy_, sc, exp.network_, aggregate.get(), options_);
+    exp.aggregate_ = std::move(aggregate);
+  };
+
+  exp.truth_ = truth_;
+  switch (kind_) {
+    case AggregateKind::kCount:
+      install(std::make_shared<CountAggregate>(bitmaps));
+      if (!exp.truth_) {
+        exp.truth_ = [n = exp.population_](uint32_t) { return n; };
+      }
+      break;
+    case AggregateKind::kSum:
+      TD_CHECK(reading != nullptr);
+      install(std::make_shared<SumAggregate>(reading, bitmaps));
+      if (!exp.truth_) {
+        exp.truth_ = [sensors, reading](uint32_t e) {
+          double t = 0;
+          for (NodeId v : sensors) t += static_cast<double>(reading(v, e));
+          return t;
+        };
+      }
+      break;
+    case AggregateKind::kAvg:
+      TD_CHECK(reading != nullptr);
+      install(std::make_shared<AverageAggregate>(reading, bitmaps));
+      if (!exp.truth_) {
+        exp.truth_ = [sensors, reading](uint32_t e) {
+          double t = 0;
+          for (NodeId v : sensors) t += static_cast<double>(reading(v, e));
+          return t / static_cast<double>(sensors.size());
+        };
+      }
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      TD_CHECK(real_reading != nullptr);
+      const bool is_min = kind_ == AggregateKind::kMin;
+      install(std::make_shared<ExtremumAggregate>(
+          is_min ? ExtremumAggregate::Kind::kMin
+                 : ExtremumAggregate::Kind::kMax,
+          real_reading));
+      if (!exp.truth_) {
+        exp.truth_ = [sensors, real_reading, is_min](uint32_t e) {
+          double t = real_reading(sensors.front(), e);
+          for (NodeId v : sensors) {
+            double r = real_reading(v, e);
+            t = is_min ? std::min(t, r) : std::max(t, r);
+          }
+          return t;
+        };
+      }
+      break;
+    }
+    case AggregateKind::kUniqueCount:
+      TD_CHECK(reading != nullptr);
+      install(std::make_shared<UniqueCountAggregate>(reading, bitmaps));
+      if (!exp.truth_) {
+        exp.truth_ = [sensors, reading](uint32_t e) {
+          std::set<uint64_t> distinct;
+          for (NodeId v : sensors) distinct.insert(reading(v, e));
+          return static_cast<double>(distinct.size());
+        };
+      }
+      break;
+    case AggregateKind::kFrequentItems: {
+      TD_CHECK(items_ != nullptr);
+      std::shared_ptr<PrecisionGradient> gradient = gradient_;
+      if (gradient == nullptr) {
+        double d = DominationFactor(ComputeHeightHistogram(sc.tree));
+        if (d <= 1.05) d = 1.1;  // the Lemma 3 constant needs d > 1
+        gradient =
+            std::make_shared<MinTotalLoadGradient>(freq_params_.eps, d);
+      }
+      auto agg = std::make_shared<FrequentItemsAggregate>(
+          items_, &sc.tree, gradient, freq_params_);
+      install(std::move(agg));
+      // No scalar ground truth unless the caller provides one.
+      break;
+    }
+  }
+
+  exp.warmup_ = warmup_;
+  exp.epochs_ = epochs_;
+  return exp;
+}
+
+RunResult Experiment::Builder::Run() { return Build().Run(); }
+
+// -------------------------------------------------------------- Experiment
+
+RunResult Experiment::Run() {
+  TD_CHECK_GT(epochs_, 0u);
+  // Warmup results are discarded one by one (no batch accumulation).
+  for (uint32_t e = 0; e < warmup_; ++e) engine_->RunEpoch(e);
+  if (warmup_ > 0) network_->ResetEnergy();
+
+  RunResult out;
+  out.epochs = engine_->RunEpochs(warmup_, epochs_);
+  out.contributing.reserve(out.epochs.size());
+  for (const EpochResult& e : out.epochs) {
+    out.contributing.push_back(static_cast<double>(e.true_contributing) /
+                               population_);
+    if (truth_) out.truths.push_back(truth_(e.epoch));
+  }
+  if (truth_) out.rms = RelativeRmsError(out.estimates(), out.truths);
+  out.energy = network_->total_energy();
+  out.bytes_per_epoch =
+      static_cast<double>(out.energy.bytes) / static_cast<double>(epochs_);
+  out.final_delta_size = engine_->delta_size();
+  out.stats = engine_->stats();
+  return out;
+}
+
+}  // namespace td

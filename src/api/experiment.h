@@ -1,0 +1,196 @@
+// The Experiment builder: declarative construction of a full simulation --
+// scenario, aggregate, strategy, loss model, epochs -- returning either a
+// stepping facade (Build) or batch results (Run).
+//
+//   RunResult r = Experiment::Builder()
+//                     .Synthetic(/*seed=*/42)
+//                     .Aggregate(AggregateKind::kCount)
+//                     .Strategy(Strategy::kTributaryDelta)
+//                     .GlobalLossRate(0.2)
+//                     .Warmup(150)
+//                     .Epochs(60)
+//                     .Run();
+//
+// This is the one entry point benches, examples and integration tests use;
+// the class templates underneath stay available for aggregate-generic code
+// (see api/engine.h's MakeEngine).
+#ifndef TD_API_EXPERIMENT_H_
+#define TD_API_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "api/engine.h"
+#include "freq/item_source.h"
+#include "freq/multipath_freq.h"
+#include "freq/precision_gradient.h"
+#include "net/loss_model.h"
+#include "workload/scenario.h"
+
+namespace td {
+
+/// Batch outcome of Experiment::Run: the measured epochs plus the derived
+/// series every paper figure reports.
+struct RunResult {
+  /// One entry per measured epoch (warmup epochs are discarded).
+  std::vector<EpochResult> epochs;
+
+  /// Per-epoch ground truth; empty when no truth is known (FrequentItems
+  /// without an explicit Truth function).
+  std::vector<double> truths;
+
+  /// Relative RMS error of the estimates vs `truths` (0 when no truth).
+  double rms = 0.0;
+
+  /// Ground-truth contributing fraction per measured epoch.
+  std::vector<double> contributing;
+
+  /// Energy totals over the measured epochs (counters are reset after
+  /// warmup when warmup > 0).
+  EnergyStats energy;
+  double bytes_per_epoch = 0.0;
+
+  /// Delta size after the last epoch (0 for strategies with no region).
+  size_t final_delta_size = 0;
+
+  /// Adaptation counters over the whole run, warmup included.
+  EngineStats stats;
+
+  /// The per-epoch numeric estimates, extracted from `epochs`.
+  std::vector<double> estimates() const;
+};
+
+/// A fully wired simulation: owns (or references) the scenario, network,
+/// aggregate and engine, keeping every lifetime straight so call sites
+/// don't have to.
+class Experiment {
+ public:
+  class Builder;
+
+  Experiment(Experiment&&) = default;
+  Experiment& operator=(Experiment&&) = default;
+
+  /// The stepping interface for epoch-by-epoch call sites (timelines,
+  /// region-map dumps, engines sharing one network).
+  Engine& engine() { return *engine_; }
+  const Scenario& scenario() const { return *scenario_; }
+  Network& network() { return *network_; }
+
+  /// Runs warmup then measured epochs and derives the summary series.
+  /// Energy counters reset after warmup (shared-network users beware).
+  RunResult Run();
+
+ private:
+  Experiment() = default;
+
+  std::unique_ptr<td::Scenario> owned_scenario_;
+  const td::Scenario* scenario_ = nullptr;
+  std::shared_ptr<td::Network> network_;
+  std::shared_ptr<void> aggregate_;  // keep-alive for the engine's aggregate
+  std::unique_ptr<td::Engine> engine_;
+  uint32_t warmup_ = 0;
+  uint32_t epochs_ = 0;
+  std::function<double(uint32_t)> truth_;
+  double population_ = 0.0;
+};
+
+class Experiment::Builder {
+ public:
+  Builder() = default;
+
+  // ------------------------------------------------------------ scenario
+  /// Uses an externally owned scenario (must outlive the Experiment).
+  Builder& Scenario(const td::Scenario* scenario);
+  /// Builds and owns the paper's Synthetic scenario.
+  Builder& Synthetic(uint64_t seed, size_t num_sensors = 600);
+  /// Builds and owns the LabData scenario.
+  Builder& Lab(uint64_t seed);
+
+  // ----------------------------------------------------------- aggregate
+  Builder& Aggregate(AggregateKind kind);
+  /// Integer reading (Sum / Avg / UniqueCount; also Min/Max via cast).
+  Builder& Reading(UintReadingFn reading);
+  /// Real-valued reading (Min / Max); overrides Reading for those kinds.
+  Builder& RealReading(RealReadingFn reading);
+  /// Item collections (FrequentItems; must outlive the Experiment).
+  Builder& Items(const ItemSource* items);
+  /// Tree-side precision gradient (FrequentItems). Defaults to
+  /// MinTotalLoadGradient(FreqParams().eps, measured domination factor).
+  Builder& Gradient(std::shared_ptr<PrecisionGradient> gradient);
+  /// Multi-path parameters (FrequentItems).
+  Builder& FreqParams(MultipathFreqParams params);
+  /// FM sketch bitmaps for Count/Sum/Avg/UniqueCount synopses.
+  Builder& SketchBitmaps(int bitmaps);
+
+  // ------------------------------------------------------------ strategy
+  Builder& Strategy(td::Strategy strategy);
+  Builder& Options(EngineOptions options);
+  Builder& Adaptation(AdaptationConfig config);
+  Builder& AdaptPeriod(uint32_t period);
+  Builder& Threshold(double threshold);
+  Builder& Damping(bool on);
+  /// Extra tree retransmissions (overrides the strategy default).
+  Builder& TreeRetries(int extra);
+
+  // -------------------------------------------------------------- network
+  Builder& LossModel(std::shared_ptr<td::LossModel> model);
+  /// Loss model built against the resolved scenario (for RegionalLoss-style
+  /// models that need the deployment).
+  Builder& LossModel(
+      std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>
+          factory);
+  Builder& GlobalLossRate(double p);
+  Builder& NetworkSeed(uint64_t seed);
+  /// Shares an existing network (and its RNG / energy accounting) instead
+  /// of building one; excludes LossModel / NetworkSeed.
+  Builder& Network(std::shared_ptr<td::Network> network);
+
+  // ----------------------------------------------------------------- run
+  Builder& Warmup(uint32_t epochs);
+  Builder& Epochs(uint32_t epochs);
+  /// Ground truth per epoch; defaults are derived from the aggregate kind
+  /// and reading function (none for FrequentItems).
+  Builder& Truth(std::function<double(uint32_t)> truth);
+
+  /// Wires everything and returns the stepping facade.
+  Experiment Build();
+  /// Build() + Run() for one-shot batch call sites.
+  RunResult Run();
+
+ private:
+  enum class ScenarioSource { kNone, kExternal, kSynthetic, kLab };
+
+  ScenarioSource scenario_source_ = ScenarioSource::kNone;
+  const td::Scenario* external_scenario_ = nullptr;
+  uint64_t scenario_seed_ = 0;
+  size_t num_sensors_ = 600;
+
+  AggregateKind kind_ = AggregateKind::kCount;
+  UintReadingFn reading_;
+  RealReadingFn real_reading_;
+  const ItemSource* items_ = nullptr;
+  std::shared_ptr<PrecisionGradient> gradient_;
+  MultipathFreqParams freq_params_;
+  int sketch_bitmaps_ = 0;  // 0: aggregate default
+
+  td::Strategy strategy_ = td::Strategy::kTag;
+  EngineOptions options_;
+
+  std::shared_ptr<td::LossModel> loss_;
+  std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>
+      loss_factory_;
+  uint64_t network_seed_ = 1;
+  std::shared_ptr<td::Network> shared_network_;
+
+  uint32_t warmup_ = 0;
+  uint32_t epochs_ = 0;
+  std::function<double(uint32_t)> truth_;
+};
+
+}  // namespace td
+
+#endif  // TD_API_EXPERIMENT_H_

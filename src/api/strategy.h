@@ -1,0 +1,85 @@
+// Runtime-selectable names for the framework's aggregation strategies and
+// built-in aggregates: the vocabulary of the td::Engine / td::Experiment
+// facade. The paper's central claim is that one framework subsumes tree
+// aggregation (TAG), synopsis diffusion, and the adaptive Tributary-Delta
+// hybrid; this header makes that a value, not a template parameter.
+#ifndef TD_API_STRATEGY_H_
+#define TD_API_STRATEGY_H_
+
+namespace td {
+
+/// Which aggregation scheme an Engine runs.
+enum class Strategy {
+  /// TAG tree aggregation, one attempt per message (Section 2).
+  kTag,
+  /// TAG with two extra per-message retransmissions (Figure 9(b)).
+  kTagRetx,
+  /// Synopsis diffusion over the rings topology (Section 2, "SD").
+  kSynopsisDiffusion,
+  /// Tributary-Delta with the fine-grained TD adaptation policy.
+  kTributaryDelta,
+  /// Tributary-Delta with the coarse (whole-level) adaptation policy.
+  kTdCoarse,
+};
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kTag, Strategy::kTagRetx, Strategy::kSynopsisDiffusion,
+    Strategy::kTributaryDelta, Strategy::kTdCoarse};
+
+/// Display name matching the paper's figures ("TAG", "SD", "TD", ...).
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kTag:
+      return "TAG";
+    case Strategy::kTagRetx:
+      return "TAG+retx";
+    case Strategy::kSynopsisDiffusion:
+      return "SD";
+    case Strategy::kTributaryDelta:
+      return "TD";
+    case Strategy::kTdCoarse:
+      return "TD-Coarse";
+  }
+  return "?";
+}
+
+/// True for the strategies that maintain a tributary/delta region and run
+/// an adaptation policy.
+inline bool IsAdaptive(Strategy s) {
+  return s == Strategy::kTributaryDelta || s == Strategy::kTdCoarse;
+}
+
+/// Which aggregate an Experiment computes (the Section 5 registry).
+enum class AggregateKind {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kUniqueCount,
+  kFrequentItems,
+};
+
+inline const char* AggregateKindName(AggregateKind k) {
+  switch (k) {
+    case AggregateKind::kCount:
+      return "Count";
+    case AggregateKind::kSum:
+      return "Sum";
+    case AggregateKind::kAvg:
+      return "Avg";
+    case AggregateKind::kMin:
+      return "Min";
+    case AggregateKind::kMax:
+      return "Max";
+    case AggregateKind::kUniqueCount:
+      return "UniqueCount";
+    case AggregateKind::kFrequentItems:
+      return "FrequentItems";
+  }
+  return "?";
+}
+
+}  // namespace td
+
+#endif  // TD_API_STRATEGY_H_

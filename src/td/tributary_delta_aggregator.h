@@ -32,6 +32,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "agg/aggregate.h"
@@ -120,6 +121,7 @@ class TributaryDeltaAggregator {
   RegionState& region() { return region_; }
   const RegionState& region() const { return region_; }
   const Stats& stats() const { return stats_; }
+  const ScratchStats& scratch_stats() const { return scratch_stats_; }
   const AdaptationFeedback& last_feedback() const { return last_feedback_; }
   OscillationDamper& damper() { return damper_; }
 
@@ -142,7 +144,11 @@ class TributaryDeltaAggregator {
     void AbsorbValue(uint64_t v) { Absorb(MissingAgg{v, v, true}); }
   };
 
-  /// All per-epoch inbox state, indexed by node id.
+  /// All per-epoch inbox state, indexed by node id. Hoisted into a member
+  /// (`scratch_`) and reset in place each epoch: the six size-n arrays --
+  /// and their elements' heap buffers (sketch bitmaps, node-set words) --
+  /// are allocated once and reused for every subsequent epoch, which is
+  /// what makes batch sweeps over RunEpochs cheap.
   struct EpochState {
     std::vector<typename A::TreePartial> tree_inbox;
     std::vector<uint64_t> tree_count;
@@ -154,19 +160,33 @@ class TributaryDeltaAggregator {
     std::map<NodeId, uint64_t> frontier_missing;
   };
 
-  Outcome RunAggregation(uint32_t epoch) {
+  void PrepareScratch() {
     const size_t n = tree_->num_nodes();
+    if (scratch_.tree_count.size() == n) {
+      ++scratch_stats_.reuses;
+    } else {
+      ++scratch_stats_.builds;
+      empty_tree_partial_.emplace(aggregate_->EmptyTreePartial());
+      empty_synopsis_.emplace(aggregate_->EmptySynopsis());
+      empty_contrib_ = FmSketch(FmSketch::kDefaultBitmaps,
+                                options_.contrib_seed);
+      empty_set_ = NodeSet(n);
+    }
+    scratch_.tree_inbox.assign(n, *empty_tree_partial_);
+    scratch_.tree_count.assign(n, 0);
+    scratch_.syn_inbox.assign(n, *empty_synopsis_);
+    scratch_.contrib_inbox.assign(n, empty_contrib_);
+    scratch_.inbox_set.assign(n, empty_set_);
+    scratch_.missing_inbox.assign(n, MissingAgg{});
+    scratch_.frontier_missing.clear();
+  }
+
+  Outcome RunAggregation(uint32_t epoch) {
     const NodeId base = rings_->base();
     TD_DCHECK(region_.CheckInvariants());
 
-    EpochState st;
-    st.tree_inbox.assign(n, aggregate_->EmptyTreePartial());
-    st.tree_count.assign(n, 0);
-    st.syn_inbox.assign(n, aggregate_->EmptySynopsis());
-    st.contrib_inbox.assign(
-        n, FmSketch(FmSketch::kDefaultBitmaps, options_.contrib_seed));
-    st.inbox_set.assign(n, NodeSet(n));
-    st.missing_inbox.assign(n, MissingAgg{});
+    PrepareScratch();
+    EpochState& st = scratch_;
 
     for (int level = rings_->max_level(); level >= 1; --level) {
       for (NodeId v : rings_->NodesAtLevel(level)) {
@@ -293,7 +313,7 @@ class TributaryDeltaAggregator {
     // One physical broadcast to all upstream M neighbors; T neighbors
     // ignore multi-path traffic (no M edge ever enters a T vertex).
     size_t bytes = aggregate_->SynopsisBytes(syn) + contrib.EncodedBytes() +
-                   2 * sizeof(uint32_t) /* max/min missing */ +
+                   2 * sizeof(uint64_t) /* max/min missing (uint64_t each) */ +
                    kMessageHeaderBytes;
     network_->CountTransmission(v, bytes);
     bool has_m_upstream = false;
@@ -323,6 +343,12 @@ class TributaryDeltaAggregator {
   RegionState region_;
   OscillationDamper damper_;
   Stats stats_;
+  EpochState scratch_;
+  ScratchStats scratch_stats_;
+  std::optional<typename A::TreePartial> empty_tree_partial_;
+  std::optional<typename A::Synopsis> empty_synopsis_;
+  FmSketch empty_contrib_;
+  NodeSet empty_set_;
   std::vector<size_t> subtree_size_;
   size_t population_ = 0;
   AdaptationFeedback last_feedback_;

@@ -1,49 +1,50 @@
 // End-to-end integration tests: full queries over lossy networks through
-// the three engines, the frequent-items pipeline over Tributary-Delta, and
-// cross-engine consistency checks that correspond to the paper's headline
-// claims.
+// the td::Experiment facade, the frequent-items pipeline over
+// Tributary-Delta, and cross-engine consistency checks that correspond to
+// the paper's headline claims. (Engine-level unit tests that wire the class
+// templates directly live in agg_test.cc / td_test.cc; everything here goes
+// through the public facade.)
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
-#include "agg/aggregates.h"
-#include "agg/multipath_aggregator.h"
-#include "agg/tree_aggregator.h"
-#include "freq/freq_aggregate.h"
-#include "net/network.h"
-#include "td/tributary_delta_aggregator.h"
+#include "api/experiment.h"
 #include "util/stats.h"
 #include "workload/labdata.h"
 #include "workload/scenario.h"
-#include "workload/synthetic.h"
 
 namespace td {
 namespace {
 
 // --------------------------------------------------------- Count E2E -----
 
+double CountRms(const Scenario& sc, Strategy strategy, double loss,
+                uint64_t seed, uint32_t epochs) {
+  RunResult r = Experiment::Builder()
+                    .Scenario(&sc)
+                    .Aggregate(AggregateKind::kCount)
+                    .Strategy(strategy)
+                    .GlobalLossRate(loss)
+                    .NetworkSeed(seed)
+                    .Epochs(epochs)
+                    .Truth([&sc](uint32_t) {
+                      return static_cast<double>(sc.num_sensors());
+                    })
+                    .Run();
+  return r.rms;
+}
+
 TEST(IntegrationTest, Figure2ShapeCountErrorVsLoss) {
   // Tree best at zero loss; multipath best at high loss; TD never worse
   // than the best of the two by a wide margin.
   Scenario sc = MakeSyntheticScenario(101, 300);
-  CountAggregate agg;
-  double truth = static_cast<double>(sc.num_sensors());
 
   auto rms_tree = [&](double loss) {
-    Network net(&sc.deployment, &sc.connectivity,
-                std::make_shared<GlobalLoss>(loss), 11);
-    TreeAggregator<CountAggregate> e(&sc.tree, &net, &agg);
-    std::vector<double> est;
-    for (uint32_t t = 0; t < 30; ++t) est.push_back(e.RunEpoch(t).result);
-    return RelativeRmsError(est, truth);
+    return CountRms(sc, Strategy::kTag, loss, 11, 30);
   };
   auto rms_mp = [&](double loss) {
-    Network net(&sc.deployment, &sc.connectivity,
-                std::make_shared<GlobalLoss>(loss), 11);
-    MultipathAggregator<CountAggregate> e(&sc.rings, &net, &agg);
-    std::vector<double> est;
-    for (uint32_t t = 0; t < 30; ++t) est.push_back(e.RunEpoch(t).result);
-    return RelativeRmsError(est, truth);
+    return CountRms(sc, Strategy::kSynopsisDiffusion, loss, 11, 30);
   };
 
   EXPECT_LT(rms_tree(0.0), 0.01);          // exact
@@ -57,15 +58,8 @@ TEST(IntegrationTest, MultipathErrorFlatAcrossLoss) {
   // loss is within a small factor of its error at 0% loss (paper-scale
   // density: 600 sensors).
   Scenario sc = MakeSyntheticScenario(102, 600);
-  CountAggregate agg;
-  double truth = static_cast<double>(sc.num_sensors());
   auto rms = [&](double loss) {
-    Network net(&sc.deployment, &sc.connectivity,
-                std::make_shared<GlobalLoss>(loss), 13);
-    MultipathAggregator<CountAggregate> e(&sc.rings, &net, &agg);
-    std::vector<double> est;
-    for (uint32_t t = 0; t < 30; ++t) est.push_back(e.RunEpoch(t).result);
-    return RelativeRmsError(est, truth);
+    return CountRms(sc, Strategy::kSynopsisDiffusion, loss, 13, 30);
   };
   EXPECT_LT(rms(0.3), rms(0.0) * 2.5 + 0.05);
 }
@@ -75,24 +69,21 @@ TEST(IntegrationTest, MultipathErrorFlatAcrossLoss) {
 TEST(IntegrationTest, SumOverTdEngineTracksTruth) {
   Scenario sc = MakeSyntheticScenario(103, 400);
   auto reading = [](NodeId v, uint32_t) -> uint64_t { return 10 + v % 50; };
-  SumAggregate agg(reading);
-  double truth = 0;
-  for (NodeId v = 1; v < sc.deployment.size(); ++v) {
-    if (sc.tree.InTree(v)) truth += 10 + v % 50;
-  }
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.2), 17);
-  TributaryDeltaAggregator<SumAggregate>::Options options;
-  options.adaptation.period = 4;
-  TributaryDeltaAggregator<SumAggregate> engine(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-      options);
-  for (uint32_t e = 0; e < 100; ++e) engine.RunEpoch(e);
-  std::vector<double> est;
-  for (uint32_t e = 100; e < 140; ++e) est.push_back(engine.RunEpoch(e).result);
+  RunResult r = Experiment::Builder()
+                    .Scenario(&sc)
+                    .Aggregate(AggregateKind::kSum)
+                    .Reading(reading)
+                    .Strategy(Strategy::kTributaryDelta)
+                    .GlobalLossRate(0.2)
+                    .NetworkSeed(17)
+                    .AdaptPeriod(4)
+                    .Warmup(100)
+                    .Epochs(40)
+                    .Run();
   // The 90% contributing threshold allows ~10% communication error on top
-  // of the sketch's ~12% on the delta portion.
-  EXPECT_LT(RelativeRmsError(est, truth), 0.35);
+  // of the sketch's ~12% on the delta portion. (The builder's default
+  // ground truth is the per-epoch sum over in-tree sensors.)
+  EXPECT_LT(r.rms, 0.35);
 }
 
 // ----------------------------------------------------- LabData Sum E2E --
@@ -102,50 +93,27 @@ TEST(IntegrationTest, LabDataSumErrorOrdering) {
   // We assert the ordering and coarse magnitudes.
   Scenario sc = MakeLabScenario(104);
   auto reading = [](NodeId v, uint32_t e) { return LabLightReading(v, e); };
-  SumAggregate agg(reading);
 
-  auto run = [&](int mode) {  // 0 tree, 1 multipath, 2 TD
-    Network net(&sc.deployment, &sc.connectivity, MakeLabLossModel(&sc.deployment),
-                19);
-    std::vector<double> est;
-    std::vector<double> truth;
-    auto truth_at = [&](uint32_t e) {
-      double t = 0;
-      for (NodeId v = 1; v < sc.deployment.size(); ++v) {
-        t += static_cast<double>(LabLightReading(v, e));
-      }
-      return t;
-    };
-    if (mode == 0) {
-      TreeAggregator<SumAggregate> eng(&sc.tree, &net, &agg);
-      for (uint32_t e = 0; e < 60; ++e) {
-        est.push_back(eng.RunEpoch(e).result);
-        truth.push_back(truth_at(e));
-      }
-    } else if (mode == 1) {
-      MultipathAggregator<SumAggregate> eng(&sc.rings, &net, &agg);
-      for (uint32_t e = 0; e < 60; ++e) {
-        est.push_back(eng.RunEpoch(e).result);
-        truth.push_back(truth_at(e));
-      }
-    } else {
-      TributaryDeltaAggregator<SumAggregate>::Options options;
-      options.adaptation.period = 5;
-      TributaryDeltaAggregator<SumAggregate> eng(
-          &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-          options);
-      for (uint32_t e = 0; e < 60; ++e) eng.RunEpoch(e);  // converge
-      for (uint32_t e = 60; e < 120; ++e) {
-        est.push_back(eng.RunEpoch(e).result);
-        truth.push_back(truth_at(e));
-      }
-    }
-    return RelativeRmsError(est, truth);
+  auto run = [&](Strategy strategy) {
+    return Experiment::Builder()
+        .Scenario(&sc)
+        .Aggregate(AggregateKind::kSum)
+        .Reading(reading)
+        .Strategy(strategy)
+        .LossModel([](const Scenario& scenario) {
+          return MakeLabLossModel(&scenario.deployment);
+        })
+        .NetworkSeed(19)
+        .AdaptPeriod(5)
+        .Warmup(IsAdaptive(strategy) ? 60 : 0)
+        .Epochs(60)
+        .Run()
+        .rms;
   };
 
-  double tag = run(0);
-  double sd = run(1);
-  double td = run(2);
+  double tag = run(Strategy::kTag);
+  double sd = run(Strategy::kSynopsisDiffusion);
+  double td = run(Strategy::kTributaryDelta);
   EXPECT_GT(tag, sd);      // tree suffers on lossy lab links
   // TD tracks multipath once its delta covers the lab; residual shrink
   // probes (driven by the noisy contributing estimate, cf. the paper's
@@ -173,17 +141,22 @@ TEST(IntegrationTest, FrequentItemsOverTreeEngineNoLoss) {
   ItemSource items(sc.deployment.size());
   FillLabItemStreams(&items, 500);
 
-  auto gradient = std::make_shared<MinTotalLoadGradient>(0.005, 2.0);
-  FrequentItemsAggregate agg(&items, &sc.tree, gradient, LabFreqParams());
-
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.0), 23);
-  TreeAggregator<FrequentItemsAggregate> engine(&sc.tree, &net, &agg);
-  auto out = engine.RunEpoch(0);
+  RunResult r =
+      Experiment::Builder()
+          .Scenario(&sc)
+          .Aggregate(AggregateKind::kFrequentItems)
+          .Items(&items)
+          .Gradient(std::make_shared<MinTotalLoadGradient>(0.005, 2.0))
+          .FreqParams(LabFreqParams())
+          .Strategy(Strategy::kTag)
+          .GlobalLossRate(0.0)
+          .NetworkSeed(23)
+          .Epochs(1)
+          .Run();
 
   const double support = 0.05;
-  auto reported =
-      ReportFrequent(out.result.counts, out.result.total, support, 0.005);
+  const FreqResult& out = r.epochs[0].freq;
+  auto reported = ReportFrequent(out.counts, out.total, support, 0.005);
   std::set<Item> reported_set(reported.begin(), reported.end());
   for (Item u : items.ItemsAboveFraction(support)) {
     EXPECT_TRUE(reported_set.count(u)) << "false negative " << u;
@@ -195,36 +168,36 @@ TEST(IntegrationTest, FrequentItemsOverTdUnderLoss) {
   ItemSource items(sc.deployment.size());
   FillLabItemStreams(&items, 300);
 
-  auto gradient = std::make_shared<MinTotalLoadGradient>(0.005, 2.0);
-  FrequentItemsAggregate agg(&items, &sc.tree, gradient, LabFreqParams());
-
-  Network net(&sc.deployment, &sc.connectivity,
-              std::make_shared<GlobalLoss>(0.2), 29);
-  TributaryDeltaAggregator<FrequentItemsAggregate>::Options options;
-  options.adaptation.period = 3;
-  TributaryDeltaAggregator<FrequentItemsAggregate> engine(
-      &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdFinePolicy>(),
-      options);
-
   const double support = 0.05;
   auto truth = items.ItemsAboveFraction(support);
   ASSERT_FALSE(truth.empty());
 
   // Let adaptation converge, then measure false negatives over epochs.
-  for (uint32_t e = 0; e < 30; ++e) engine.RunEpoch(e);
+  RunResult r =
+      Experiment::Builder()
+          .Scenario(&sc)
+          .Aggregate(AggregateKind::kFrequentItems)
+          .Items(&items)
+          .Gradient(std::make_shared<MinTotalLoadGradient>(0.005, 2.0))
+          .FreqParams(LabFreqParams())
+          .Strategy(Strategy::kTributaryDelta)
+          .GlobalLossRate(0.2)
+          .NetworkSeed(29)
+          .AdaptPeriod(3)
+          .Warmup(30)
+          .Epochs(10)
+          .Run();
   double fn_total = 0;
-  const uint32_t measure_epochs = 10;
-  for (uint32_t e = 30; e < 30 + measure_epochs; ++e) {
-    auto out = engine.RunEpoch(e);
+  for (const EpochResult& e : r.epochs) {
     auto reported =
-        ReportFrequent(out.result.counts, out.result.total, support, 0.005);
+        ReportFrequent(e.freq.counts, e.freq.total, support, 0.005);
     std::set<Item> reported_set(reported.begin(), reported.end());
     size_t misses = 0;
     for (Item u : truth) misses += reported_set.count(u) == 0;
     fn_total += static_cast<double>(misses) / truth.size();
   }
   // TD keeps false negatives low at 20% loss (Figure 9 shows <15% there).
-  EXPECT_LT(fn_total / measure_epochs, 0.35);
+  EXPECT_LT(fn_total / r.epochs.size(), 0.35);
 }
 
 TEST(IntegrationTest, EnergyParityBetweenSchemes) {
@@ -232,36 +205,38 @@ TEST(IntegrationTest, EnergyParityBetweenSchemes) {
   // epoch for Count/Sum (Section 2: rings "as energy-efficient as the tree
   // approach").
   Scenario sc = MakeSyntheticScenario(107, 200);
-  CountAggregate agg;
-  Network net1(&sc.deployment, &sc.connectivity,
-               std::make_shared<GlobalLoss>(0.1), 31);
-  TreeAggregator<CountAggregate> tree_engine(&sc.tree, &net1, &agg);
-  tree_engine.RunEpoch(0);
-  Network net2(&sc.deployment, &sc.connectivity,
-               std::make_shared<GlobalLoss>(0.1), 31);
-  MultipathAggregator<CountAggregate> mp_engine(&sc.rings, &net2, &agg);
-  mp_engine.RunEpoch(0);
-  EXPECT_EQ(net1.total_energy().transmissions,
-            net2.total_energy().transmissions);
+  auto run = [&](Strategy strategy) {
+    Experiment exp = Experiment::Builder()
+                         .Scenario(&sc)
+                         .Aggregate(AggregateKind::kCount)
+                         .Strategy(strategy)
+                         .GlobalLossRate(0.1)
+                         .NetworkSeed(31)
+                         .Epochs(1)
+                         .Build();
+    exp.engine().RunEpoch(0);
+    return exp.network().total_energy();
+  };
+  EnergyStats tree_energy = run(Strategy::kTag);
+  EnergyStats mp_energy = run(Strategy::kSynopsisDiffusion);
+  EXPECT_EQ(tree_energy.transmissions, mp_energy.transmissions);
   // Message sizes: multipath pays more bytes (sketches vs one integer).
-  EXPECT_GT(net2.total_energy().bytes, net1.total_energy().bytes);
+  EXPECT_GT(mp_energy.bytes, tree_energy.bytes);
 }
 
 TEST(IntegrationTest, DeterministicEndToEnd) {
   // Same seeds -> bit-identical results, the reproducibility contract.
   auto run = [] {
-    Scenario sc = MakeSyntheticScenario(108, 150);
-    CountAggregate agg;
-    Network net(&sc.deployment, &sc.connectivity,
-                std::make_shared<GlobalLoss>(0.25), 37);
-    TributaryDeltaAggregator<CountAggregate>::Options options;
-    options.adaptation.period = 4;
-    TributaryDeltaAggregator<CountAggregate> engine(
-        &sc.tree, &sc.rings, &net, &agg, std::make_unique<TdCoarsePolicy>(),
-        options);
-    std::vector<double> est;
-    for (uint32_t e = 0; e < 40; ++e) est.push_back(engine.RunEpoch(e).result);
-    return est;
+    return Experiment::Builder()
+        .Synthetic(108, 150)
+        .Aggregate(AggregateKind::kCount)
+        .Strategy(Strategy::kTdCoarse)
+        .GlobalLossRate(0.25)
+        .NetworkSeed(37)
+        .AdaptPeriod(4)
+        .Epochs(40)
+        .Run()
+        .estimates();
   };
   EXPECT_EQ(run(), run());
 }

@@ -2,11 +2,18 @@
 // operations, summary merging, GK compression, topology construction and a
 // full simulated epoch. These bound the simulator's throughput, not any
 // paper figure.
+//
+// main() additionally times the headline hot paths with plain chrono and
+// writes them to BENCH_micro.json so the perf trajectory is tracked across
+// PRs (bench/baselines/ keeps the committed reference points).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
+#include <string_view>
 
 #include "api/experiment.h"
+#include "bench_util.h"
 #include "freq/gk_summary.h"
 #include "freq/precision_gradient.h"
 #include "freq/summary.h"
@@ -63,6 +70,45 @@ void BM_BankRleEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BankRleEncode);
+
+void BM_BankRleBytes(benchmark::State& state) {
+  // The size-only path: the per-message cost unit of every simulated
+  // broadcast (SynopsisBytes + contrib EncodedBytes).
+  FmSketch s(40, 1);
+  for (uint64_t k = 0; k < 1000; ++k) s.AddKey(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BankRleBytes(s.bitmaps()));
+  }
+}
+BENCHMARK(BM_BankRleBytes);
+
+void BM_FmFuseAndSize(benchmark::State& state) {
+  // One simulated relay hop: fuse a received synopsis, then size the
+  // outgoing message.
+  FmSketch a(40, 1), b(40, 1);
+  for (uint64_t k = 0; k < 500; ++k) a.AddKey(k);
+  for (uint64_t k = 400; k < 900; ++k) b.AddKey(k);
+  for (auto _ : state) {
+    a.Merge(b);
+    benchmark::DoNotOptimize(a.EncodedBytes());
+  }
+}
+BENCHMARK(BM_FmFuseAndSize);
+
+void BM_FmAddValueMemoized(benchmark::State& state) {
+  // The leaf-synopsis path with an unchanged reading: after the first
+  // epoch the memo replays the cached bank instead of re-simulating.
+  FmValueMemo memo(40, 1);
+  FmSketch s(40, 1);
+  for (auto _ : state) {
+    s.Clear();
+    for (uint64_t node = 0; node < 64; ++node) {
+      memo.AddValue(&s, node, 1000 + node);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FmAddValueMemoized);
 
 void BM_KmvAddKey(benchmark::State& state) {
   KmvSketch s(static_cast<size_t>(state.range(0)), 1);
@@ -160,7 +206,113 @@ void BM_TributaryDeltaBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_TributaryDeltaBatch);
 
+void BM_SumEpochLabStyle(benchmark::State& state) {
+  // Sum over slowly-changing readings: the memoized AddValue workload.
+  Experiment exp = Experiment::Builder()
+                       .Synthetic(7, 600)
+                       .Aggregate(AggregateKind::kSum)
+                       .Reading([](NodeId v, uint32_t e) -> uint64_t {
+                         return 500 + v + e / 50;  // changes every 50 epochs
+                       })
+                       .Strategy(Strategy::kSynopsisDiffusion)
+                       .GlobalLossRate(0.2)
+                       .NetworkSeed(1)
+                       .Epochs(1)
+                       .Build();
+  uint32_t e = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(exp.engine().RunEpoch(e++));
+}
+BENCHMARK(BM_SumEpochLabStyle);
+
+// One workload definition shared by BM_RunTrials and the JSON metrics, so
+// both always measure the same sweep.
+SweepResult RunTrialsWorkload(unsigned threads) {
+  return Experiment::Builder()
+      .Synthetic(7, 150)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(Strategy::kTributaryDelta)
+      .GlobalLossRate(0.2)
+      .NetworkSeed(1)
+      .Epochs(10)
+      .Trials(8)
+      .Threads(threads)
+      .RunTrials();
+}
+
+void BM_RunTrials(benchmark::State& state) {
+  // The Monte Carlo sweep entry point, threads=1 vs threads=N.
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    SweepResult r = RunTrialsWorkload(threads);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RunTrials)->Arg(1)->Arg(0);  // 0 = hardware_concurrency
+
+// ------------------------------------------------------------------------
+// BENCH_micro.json: chrono-timed headline numbers for the perf trajectory.
+
+double SecondsPerCall(const std::function<void()>& fn, int calls) {
+  // One warmup call, then a timed run.
+  fn();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) fn();
+  std::chrono::duration<double> dt = std::chrono::steady_clock::now() - start;
+  return dt.count() / calls;
+}
+
+void WriteMicroJson() {
+  bench::BenchJson json("micro");
+
+  {
+    FmSketch s(40, 1);
+    for (uint64_t k = 0; k < 1000; ++k) s.AddKey(k);
+    double sec = SecondsPerCall([&] { BankRleBytes(s.bitmaps()); }, 20000);
+    json.Entry().Field("metric", "bank_rle_bytes_ns").Field("value", sec * 1e9);
+    sec = SecondsPerCall([&] { EncodeBankRle(s.bitmaps()); }, 20000);
+    json.Entry().Field("metric", "bank_rle_encode_ns").Field("value", sec * 1e9);
+  }
+
+  struct {
+    const char* name;
+    Strategy strategy;
+  } epochs[] = {{"tree_epoch_us", Strategy::kTag},
+                {"multipath_epoch_us", Strategy::kSynopsisDiffusion},
+                {"td_epoch_us", Strategy::kTributaryDelta}};
+  for (const auto& spec : epochs) {
+    Experiment exp = MakeEpochExperiment(spec.strategy);
+    uint32_t e = 0;
+    const int calls = spec.strategy == Strategy::kTag ? 2000 : 200;
+    double sec = SecondsPerCall([&] { exp.engine().RunEpoch(e++); }, calls);
+    json.Entry().Field("metric", spec.name).Field("value", sec * 1e6);
+  }
+
+  for (unsigned threads : {1u, 0u}) {
+    double sec = SecondsPerCall([&] { RunTrialsWorkload(threads); }, 5);
+    json.Entry()
+        .Field("metric", threads == 1 ? "run_trials_t1_ms" : "run_trials_tN_ms")
+        .Field("value", sec * 1e3);
+  }
+
+  json.Write();
+}
+
 }  // namespace
 }  // namespace td
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Filtered invocations are quick one-off measurements; only a full run
+  // should pay for (and overwrite) the BENCH_micro.json trajectory pass.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) {
+      filtered = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!filtered) td::WriteMicroJson();
+  return 0;
+}

@@ -64,6 +64,49 @@ concept Aggregate = requires(const A a, typename A::TreePartial p,
 /// piggybacked contributing count).
 inline constexpr size_t kMessageHeaderBytes = 8;
 
+// ---------------------------------------------------------------------------
+// Reset-in-place dispatch. Aggregates may optionally provide *Into /
+// FuseConverted members that write into caller-owned storage instead of
+// returning freshly constructed (heap-allocating) values; the engines call
+// through these helpers, which fall back to the constructing form when an
+// aggregate doesn't opt in. Results are bit-identical either way -- only
+// the allocation behavior differs.
+
+/// scratch := the synopsis MakeSynopsis(node, epoch) would return. `out`
+/// must hold a synopsis of the aggregate's geometry (e.g. from
+/// EmptySynopsis()) so the in-place form can recycle its buffers.
+template <Aggregate A>
+inline void MakeSynopsisInto(const A& a, typename A::Synopsis* out,
+                             NodeId node, uint32_t epoch) {
+  if constexpr (requires { a.MakeSynopsisInto(out, node, epoch); }) {
+    a.MakeSynopsisInto(out, node, epoch);
+  } else {
+    *out = a.MakeSynopsis(node, epoch);
+  }
+}
+
+/// scratch := the partial MakeTreePartial(node, epoch) would return.
+template <Aggregate A>
+inline void MakeTreePartialInto(const A& a, typename A::TreePartial* out,
+                                NodeId node, uint32_t epoch) {
+  if constexpr (requires { a.MakeTreePartialInto(out, node, epoch); }) {
+    a.MakeTreePartialInto(out, node, epoch);
+  } else {
+    *out = a.MakeTreePartial(node, epoch);
+  }
+}
+
+/// Fuse(into, Convert(p)) without materializing the converted synopsis.
+template <Aggregate A>
+inline void FuseConverted(const A& a, typename A::Synopsis* into,
+                          const typename A::TreePartial& p) {
+  if constexpr (requires { a.FuseConverted(into, p); }) {
+    a.FuseConverted(into, p);
+  } else {
+    a.Fuse(into, a.Convert(p));
+  }
+}
+
 }  // namespace td
 
 #endif  // TD_AGG_AGGREGATE_H_

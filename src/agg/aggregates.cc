@@ -7,7 +7,9 @@ namespace td {
 // ---------------------------------------------------------------- Count --
 
 CountAggregate::CountAggregate(int sketch_bitmaps, uint64_t seed)
-    : sketch_bitmaps_(sketch_bitmaps), seed_(seed) {}
+    : sketch_bitmaps_(sketch_bitmaps),
+      seed_(seed),
+      convert_memo_(sketch_bitmaps, seed) {}
 
 CountAggregate::TreePartial CountAggregate::MakeTreePartial(
     NodeId node, uint32_t /*epoch*/) const {
@@ -48,6 +50,17 @@ CountAggregate::Synopsis CountAggregate::Convert(const TreePartial& p) const {
   return s;
 }
 
+void CountAggregate::MakeSynopsisInto(Synopsis* out, NodeId node,
+                                      uint32_t /*epoch*/) const {
+  out->Clear();
+  out->AddKey(node);
+}
+
+void CountAggregate::FuseConverted(Synopsis* into, const TreePartial& p) const {
+  TD_CHECK_NE(p.origin, CountingPartial::kNoOrigin);
+  convert_memo_.AddValue(into, p.origin, p.value);
+}
+
 CountAggregate::Result CountAggregate::EvaluateTree(
     const TreePartial& p) const {
   return static_cast<double>(p.value);
@@ -79,7 +92,9 @@ SumAggregate::SumAggregate(UintReadingFn reading, int sketch_bitmaps,
                            uint64_t seed)
     : reading_(std::move(reading)),
       sketch_bitmaps_(sketch_bitmaps),
-      seed_(seed) {
+      seed_(seed),
+      value_memo_(sketch_bitmaps, seed),
+      convert_memo_(sketch_bitmaps, seed) {
   TD_CHECK(reading_ != nullptr);
 }
 
@@ -116,6 +131,17 @@ SumAggregate::Synopsis SumAggregate::Convert(const TreePartial& p) const {
   FmSketch s(sketch_bitmaps_, seed_);
   s.AddValue(p.origin, p.value);
   return s;
+}
+
+void SumAggregate::MakeSynopsisInto(Synopsis* out, NodeId node,
+                                    uint32_t epoch) const {
+  out->Clear();
+  value_memo_.AddValue(out, node, reading_(node, epoch));
+}
+
+void SumAggregate::FuseConverted(Synopsis* into, const TreePartial& p) const {
+  TD_CHECK_NE(p.origin, CountingPartial::kNoOrigin);
+  convert_memo_.AddValue(into, p.origin, p.value);
 }
 
 SumAggregate::Result SumAggregate::EvaluateTree(const TreePartial& p) const {
@@ -176,7 +202,10 @@ AverageAggregate::AverageAggregate(UintReadingFn reading, int sketch_bitmaps,
                                    uint64_t seed)
     : reading_(std::move(reading)),
       sketch_bitmaps_(sketch_bitmaps),
-      seed_(seed) {
+      seed_(seed),
+      sum_memo_(sketch_bitmaps, seed),
+      sum_convert_memo_(sketch_bitmaps, seed),
+      count_convert_memo_(sketch_bitmaps, seed ^ 0x5bd1e995u) {
   TD_CHECK(reading_ != nullptr);
 }
 
@@ -220,6 +249,21 @@ AverageAggregate::Synopsis AverageAggregate::Convert(
   s.sum_sketch.AddValue(p.origin, p.sum);
   s.count_sketch.AddValue(p.origin, p.count);
   return s;
+}
+
+void AverageAggregate::MakeSynopsisInto(Synopsis* out, NodeId node,
+                                        uint32_t epoch) const {
+  out->sum_sketch.Clear();
+  out->count_sketch.Clear();
+  sum_memo_.AddValue(&out->sum_sketch, node, reading_(node, epoch));
+  out->count_sketch.AddKey(node);
+}
+
+void AverageAggregate::FuseConverted(Synopsis* into,
+                                     const TreePartial& p) const {
+  TD_CHECK_NE(p.origin, 0xffffffffu);
+  sum_convert_memo_.AddValue(&into->sum_sketch, p.origin, p.sum);
+  count_convert_memo_.AddValue(&into->count_sketch, p.origin, p.count);
 }
 
 AverageAggregate::Result AverageAggregate::EvaluateTree(
@@ -289,6 +333,17 @@ UniqueCountAggregate::Synopsis UniqueCountAggregate::EmptySynopsis() const {
 
 void UniqueCountAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
   into->Merge(from);
+}
+
+void UniqueCountAggregate::MakeTreePartialInto(TreePartial* out, NodeId node,
+                                               uint32_t epoch) const {
+  out->Clear();
+  out->AddKey(reading_(node, epoch));
+}
+
+void UniqueCountAggregate::MakeSynopsisInto(Synopsis* out, NodeId node,
+                                            uint32_t epoch) const {
+  MakeTreePartialInto(out, node, epoch);
 }
 
 UniqueCountAggregate::Result UniqueCountAggregate::EvaluateCombined(

@@ -58,6 +58,12 @@ class CountAggregate {
   void Fuse(Synopsis* into, const Synopsis& from) const;
   Synopsis Convert(const TreePartial& p) const;
 
+  /// Reset-in-place / memoized fast paths (bit-identical to the
+  /// constructing forms; see aggregate.h). Not thread-safe: one aggregate
+  /// instance per thread.
+  void MakeSynopsisInto(Synopsis* out, NodeId node, uint32_t epoch) const;
+  void FuseConverted(Synopsis* into, const TreePartial& p) const;
+
   Result EvaluateTree(const TreePartial& p) const;
   Result EvaluateSynopsis(const Synopsis& s) const;
   Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
@@ -68,6 +74,7 @@ class CountAggregate {
  private:
   int sketch_bitmaps_;
   uint64_t seed_;
+  mutable FmValueMemo convert_memo_;
 };
 
 /// SUM of non-negative integer readings.
@@ -91,6 +98,12 @@ class SumAggregate {
   void Fuse(Synopsis* into, const Synopsis& from) const;
   Synopsis Convert(const TreePartial& p) const;
 
+  /// Reset-in-place / memoized fast paths. A leaf synopsis is a pure
+  /// function of (node, reading), so an unchanged reading replays its
+  /// cached bitmap bank instead of re-running the binomial simulation.
+  void MakeSynopsisInto(Synopsis* out, NodeId node, uint32_t epoch) const;
+  void FuseConverted(Synopsis* into, const TreePartial& p) const;
+
   Result EvaluateTree(const TreePartial& p) const;
   Result EvaluateSynopsis(const Synopsis& s) const;
   Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
@@ -102,6 +115,8 @@ class SumAggregate {
   UintReadingFn reading_;
   int sketch_bitmaps_;
   uint64_t seed_;
+  mutable FmValueMemo value_memo_;    // leaf (node, reading) banks
+  mutable FmValueMemo convert_memo_;  // converted (origin, subtotal) banks
 };
 
 /// MIN or MAX of real readings. Naturally duplicate-insensitive: the
@@ -175,6 +190,10 @@ class AverageAggregate {
   void Fuse(Synopsis* into, const Synopsis& from) const;
   Synopsis Convert(const TreePartial& p) const;
 
+  /// Reset-in-place / memoized fast paths over both component sketches.
+  void MakeSynopsisInto(Synopsis* out, NodeId node, uint32_t epoch) const;
+  void FuseConverted(Synopsis* into, const TreePartial& p) const;
+
   Result EvaluateTree(const TreePartial& p) const;
   Result EvaluateSynopsis(const Synopsis& s) const;
   Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
@@ -186,6 +205,9 @@ class AverageAggregate {
   UintReadingFn reading_;
   int sketch_bitmaps_;
   uint64_t seed_;
+  mutable FmValueMemo sum_memo_;            // leaf (node, reading) banks
+  mutable FmValueMemo sum_convert_memo_;    // converted partial sums
+  mutable FmValueMemo count_convert_memo_;  // converted partial counts
 };
 
 /// UNIQUE COUNT: number of distinct reading values network-wide. An FM
@@ -212,6 +234,13 @@ class UniqueCountAggregate {
   Synopsis EmptySynopsis() const;
   void Fuse(Synopsis* into, const Synopsis& from) const;
   Synopsis Convert(const TreePartial& p) const { return p; }
+
+  /// Reset-in-place fast paths (both partial and synopsis are FM sketches).
+  void MakeTreePartialInto(TreePartial* out, NodeId node, uint32_t epoch) const;
+  void MakeSynopsisInto(Synopsis* out, NodeId node, uint32_t epoch) const;
+  void FuseConverted(Synopsis* into, const TreePartial& p) const {
+    into->Merge(p);  // Convert is the identity
+  }
 
   Result EvaluateTree(const TreePartial& p) const { return p.Estimate(); }
   Result EvaluateSynopsis(const Synopsis& s) const { return s.Estimate(); }

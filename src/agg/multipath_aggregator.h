@@ -55,26 +55,31 @@ class MultipathAggregator {
 
     for (int level = rings_->max_level(); level >= 1; --level) {
       for (NodeId v : rings_->NodesAtLevel(level)) {
-        typename A::Synopsis syn = aggregate_->MakeSynopsis(v, epoch);
+        // All three per-node temporaries are scratch members reset in
+        // place, so the level sweep allocates nothing.
+        typename A::Synopsis& syn = *scratch_syn_;
+        td::MakeSynopsisInto(*aggregate_, &syn, v, epoch);
         aggregate_->Fuse(&syn, inbox[v]);
 
-        FmSketch contrib(FmSketch::kDefaultBitmaps, contrib_seed_);
-        contrib.AddKey(v);
-        contrib.Merge(inbox_contrib[v]);
+        // Fixed-geometry copy of the inbox plus the own-id insertion: one
+        // pass instead of Clear + Merge (OR is commutative, so this is
+        // bit-identical to building the sketch then merging the inbox).
+        scratch_contrib_.AssignFrom(inbox_contrib[v]);
+        scratch_contrib_.AddKey(v);
 
-        NodeSet covered = inbox_set[v];
-        covered.Set(v);
+        scratch_covered_ = inbox_set[v];
+        scratch_covered_.Set(v);
 
         // One physical broadcast; each upstream neighbor draws an
         // independent loss trial.
         size_t bytes = aggregate_->SynopsisBytes(syn) +
-                       contrib.EncodedBytes() + kMessageHeaderBytes;
+                       scratch_contrib_.EncodedBytes() + kMessageHeaderBytes;
         network_->CountTransmission(v, bytes);
         for (NodeId w : rings_->UpstreamNeighbors(conn, v)) {
           if (network_->Deliver(v, w, epoch)) {
             aggregate_->Fuse(&inbox[w], syn);
-            inbox_contrib[w].Merge(contrib);
-            inbox_set[w].Union(covered);
+            inbox_contrib[w].Merge(scratch_contrib_);
+            inbox_set[w].Union(scratch_covered_);
           }
         }
       }
@@ -107,8 +112,11 @@ class MultipathAggregator {
     } else {
       ++scratch_stats_.builds;
       empty_synopsis_.emplace(aggregate_->EmptySynopsis());
+      scratch_syn_.emplace(aggregate_->EmptySynopsis());
       empty_contrib_ = FmSketch(FmSketch::kDefaultBitmaps, contrib_seed_);
+      scratch_contrib_ = empty_contrib_;
       empty_set_ = NodeSet(n);
+      scratch_covered_ = NodeSet(n);
     }
     scratch_.inbox.assign(n, *empty_synopsis_);
     scratch_.inbox_contrib.assign(n, empty_contrib_);
@@ -124,6 +132,10 @@ class MultipathAggregator {
   std::optional<typename A::Synopsis> empty_synopsis_;
   FmSketch empty_contrib_;
   NodeSet empty_set_;
+  // Per-node temporaries recycled across the level sweep.
+  std::optional<typename A::Synopsis> scratch_syn_;
+  FmSketch scratch_contrib_;
+  NodeSet scratch_covered_;
 };
 
 }  // namespace td

@@ -55,14 +55,17 @@ class TreeAggregator {
 
     for (NodeId v : tree_->TopologicalChildrenFirst()) {
       if (v == root) continue;
-      // Local reading merged with whatever arrived from children.
-      typename A::TreePartial partial = aggregate_->MakeTreePartial(v, epoch);
+      // Local reading merged with whatever arrived from children. The
+      // partial and covered-set scratch members are recycled across nodes
+      // and epochs (reset in place, never re-heap-allocated).
+      typename A::TreePartial& partial = *scratch_partial_;
+      td::MakeTreePartialInto(*aggregate_, &partial, v, epoch);
       aggregate_->MergeTree(&partial, inbox[v]);
       aggregate_->FinalizeTreePartial(&partial, v);
 
       uint64_t contributing = 1 + inbox_count[v];
-      NodeSet covered = inbox_set[v];
-      covered.Set(v);
+      scratch_covered_ = inbox_set[v];
+      scratch_covered_.Set(v);
 
       NodeId parent = tree_->parent(v);
       size_t bytes = aggregate_->TreeBytes(partial) + kMessageHeaderBytes;
@@ -71,7 +74,7 @@ class TreeAggregator {
       if (delivered) {
         aggregate_->MergeTree(&inbox[parent], partial);
         inbox_count[parent] += contributing;
-        inbox_set[parent].Union(covered);
+        inbox_set[parent].Union(scratch_covered_);
       }
     }
 
@@ -109,7 +112,9 @@ class TreeAggregator {
     } else {
       ++scratch_stats_.builds;
       empty_partial_.emplace(aggregate_->EmptyTreePartial());
+      scratch_partial_.emplace(aggregate_->EmptyTreePartial());
       empty_set_ = NodeSet(n);
+      scratch_covered_ = NodeSet(n);
     }
     scratch_.inbox.assign(n, *empty_partial_);
     scratch_.inbox_count.assign(n, 0);
@@ -123,7 +128,9 @@ class TreeAggregator {
   Scratch scratch_;
   ScratchStats scratch_stats_;
   std::optional<typename A::TreePartial> empty_partial_;
+  std::optional<typename A::TreePartial> scratch_partial_;  // per-node reuse
   NodeSet empty_set_;
+  NodeSet scratch_covered_;  // per-node covered-set reuse
 };
 
 }  // namespace td

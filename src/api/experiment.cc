@@ -1,11 +1,14 @@
 #include "api/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "agg/aggregates.h"
 #include "topology/domination.h"
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/stats.h"
 
 namespace td {
@@ -158,6 +161,16 @@ Experiment::Builder& Experiment::Builder::Truth(
   return *this;
 }
 
+Experiment::Builder& Experiment::Builder::Trials(uint32_t trials) {
+  trials_ = trials;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::Threads(unsigned threads) {
+  threads_ = threads;
+  return *this;
+}
+
 Experiment Experiment::Builder::Build() {
   Experiment exp;
 
@@ -305,6 +318,77 @@ Experiment Experiment::Builder::Build() {
 }
 
 RunResult Experiment::Builder::Run() { return Build().Run(); }
+
+SweepResult Experiment::Builder::RunTrials() {
+  TD_CHECK_GT(trials_, 0u);
+  // Trials must not share a network: each needs its own RNG stream so the
+  // sweep is reproducible per trial.
+  TD_CHECK(shared_network_ == nullptr);
+
+  // Resolve the scenario and loss model once; both are immutable during
+  // aggregation, so all trials share them read-only. Every trial then
+  // builds its own aggregate, engine and network from a Builder copy.
+  Builder proto = *this;
+  std::unique_ptr<td::Scenario> owned_scenario;
+  if (scenario_source_ == ScenarioSource::kSynthetic) {
+    owned_scenario = std::make_unique<td::Scenario>(
+        MakeSyntheticScenario(scenario_seed_, num_sensors_));
+    proto.Scenario(owned_scenario.get());
+  } else if (scenario_source_ == ScenarioSource::kLab) {
+    owned_scenario =
+        std::make_unique<td::Scenario>(MakeLabScenario(scenario_seed_));
+    proto.Scenario(owned_scenario.get());
+  }
+  if (loss_factory_) {
+    TD_CHECK(proto.external_scenario_ != nullptr);
+    proto.loss_factory_ = nullptr;
+    proto.loss_ = loss_factory_(*proto.external_scenario_);
+  }
+
+  const uint32_t trials = trials_;
+  const uint64_t base_seed = network_seed_;
+  unsigned workers = threads_ != 0 ? threads_
+                                   : std::max(1u, std::thread::hardware_concurrency());
+  if (workers > trials) workers = trials;
+
+  std::vector<RunResult> results(trials);
+  std::vector<RunningStat> per_trial_estimates(trials);
+  std::atomic<uint32_t> next{0};
+  auto run_trials = [&]() {
+    for (;;) {
+      const uint32_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= trials) return;
+      Builder b = proto;
+      // Deterministic per-trial seed: a pure function of (base seed, t),
+      // independent of which worker picks the trial up.
+      b.NetworkSeed(Hash64(t, base_seed));
+      results[t] = b.Run();
+      for (const EpochResult& e : results[t].epochs) {
+        per_trial_estimates[t].Add(e.value);
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    run_trials();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(run_trials);
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Summaries merge in trial order after the barrier, so the result is
+  // bit-identical for any thread count or completion schedule.
+  SweepResult out;
+  for (uint32_t t = 0; t < trials; ++t) {
+    out.rms.Add(results[t].rms);
+    out.bytes_per_epoch.Add(results[t].bytes_per_epoch);
+    out.estimates.Merge(per_trial_estimates[t]);
+  }
+  out.trials = std::move(results);
+  return out;
+}
 
 // -------------------------------------------------------------- Experiment
 

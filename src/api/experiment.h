@@ -29,6 +29,7 @@
 #include "freq/multipath_freq.h"
 #include "freq/precision_gradient.h"
 #include "net/loss_model.h"
+#include "util/stats.h"
 #include "workload/scenario.h"
 
 namespace td {
@@ -62,6 +63,26 @@ struct RunResult {
 
   /// The per-epoch numeric estimates, extracted from `epochs`.
   std::vector<double> estimates() const;
+};
+
+/// Outcome of a Monte Carlo sweep (Experiment::Builder::RunTrials): one
+/// RunResult per trial plus cross-trial summary statistics. Trial t is
+/// seeded deterministically from (base network seed, t), and the summaries
+/// are merged in trial order, so a SweepResult is bit-identical for any
+/// thread count or schedule.
+struct SweepResult {
+  /// Per-trial results, indexed by trial id.
+  std::vector<RunResult> trials;
+
+  /// Cross-trial distribution of the per-trial relative RMS error.
+  RunningStat rms;
+
+  /// Cross-trial distribution of the per-trial bytes/epoch.
+  RunningStat bytes_per_epoch;
+
+  /// All measured per-epoch estimates pooled across trials (per-trial
+  /// accumulators combined with the parallel-Welford RunningStat::Merge).
+  RunningStat estimates;
 };
 
 /// A fully wired simulation: owns (or references) the scenario, network,
@@ -156,10 +177,25 @@ class Experiment::Builder {
   /// and reading function (none for FrequentItems).
   Builder& Truth(std::function<double(uint32_t)> truth);
 
+  // ------------------------------------------------------- trial sweeps
+  /// Number of Monte Carlo trials RunTrials runs. Each trial gets its own
+  /// engine, network and RNG stream, seeded from (NetworkSeed, trial).
+  Builder& Trials(uint32_t trials);
+  /// Worker threads for RunTrials; 0 (the default) means
+  /// std::thread::hardware_concurrency(). Results are independent of the
+  /// thread count: trials never share mutable state and summaries merge in
+  /// trial order.
+  Builder& Threads(unsigned threads);
+
   /// Wires everything and returns the stepping facade.
   Experiment Build();
   /// Build() + Run() for one-shot batch call sites.
   RunResult Run();
+  /// Runs Trials() independent trials across Threads() workers. The
+  /// scenario and loss model are resolved once and shared read-only;
+  /// caller-supplied Reading/Truth functions must be pure (they are called
+  /// concurrently). Incompatible with Network() sharing.
+  SweepResult RunTrials();
 
  private:
   enum class ScenarioSource { kNone, kExternal, kSynthetic, kLab };
@@ -189,6 +225,8 @@ class Experiment::Builder {
   uint32_t warmup_ = 0;
   uint32_t epochs_ = 0;
   std::function<double(uint32_t)> truth_;
+  uint32_t trials_ = 1;
+  unsigned threads_ = 0;  // 0: hardware_concurrency
 };
 
 }  // namespace td

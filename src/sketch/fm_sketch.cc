@@ -69,15 +69,48 @@ void FmSketch::Merge(const FmSketch& other) {
   for (size_t i = 0; i < bitmaps_.size(); ++i) bitmaps_[i] |= other.bitmaps_[i];
 }
 
+void FmSketch::Clear() {
+  for (uint32_t& bm : bitmaps_) bm = 0;
+}
+
+void FmSketch::AssignFrom(const FmSketch& other) {
+  TD_CHECK_EQ(bitmaps_.size(), other.bitmaps_.size());
+  seed_ = other.seed_;
+  // Equal sizes: vector assignment copies element-wise, no reallocation.
+  bitmaps_ = other.bitmaps_;
+}
+
+void FmSketch::OrBits(const std::vector<uint32_t>& bits) {
+  TD_CHECK_EQ(bitmaps_.size(), bits.size());
+  for (size_t i = 0; i < bitmaps_.size(); ++i) bitmaps_[i] |= bits[i];
+}
+
 double FmSketch::Estimate() const {
   const double k = static_cast<double>(bitmaps_.size());
   double s = 0.0;
   for (uint32_t bm : bitmaps_) s += LowestUnsetBit32(bm);
   const double ratio = s / k;
   // Small-range corrected PCSA estimator; exactly 0 when every bitmap is
-  // empty (ratio == 0).
-  return (k / kPhi) *
-         (std::pow(2.0, ratio) - std::pow(2.0, -kKappa * ratio));
+  // empty (ratio == 0). exp2 replaces the two pow(2, x) calls on the
+  // per-epoch evaluation path.
+  return (k / kPhi) * (std::exp2(ratio) - std::exp2(-kKappa * ratio));
+}
+
+void FmValueMemo::AddValue(FmSketch* into, uint64_t key, uint64_t value) {
+  TD_DCHECK(into->seed() == seed_ &&
+            into->num_bitmaps() == scratch_.num_bitmaps());
+  if (value == 0) return;  // same no-op as FmSketch::AddValue
+  Entry& e = cache_[key];
+  if (e.bits.empty() || e.value != value) {
+    ++misses_;
+    scratch_.Clear();
+    scratch_.AddValue(key, value);
+    e.value = value;
+    e.bits = scratch_.bitmaps();
+  } else {
+    ++hits_;
+  }
+  into->OrBits(e.bits);
 }
 
 size_t FmSketch::EncodedBytes() const { return BankRleBytes(bitmaps_); }

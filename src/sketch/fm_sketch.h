@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace td {
@@ -39,6 +40,19 @@ class FmSketch {
 
   /// Bitwise-OR union; both sketches must share geometry and seed.
   void Merge(const FmSketch& other);
+
+  /// Resets every bitmap to zero in place (no reallocation); geometry and
+  /// seed are kept. The engines' per-epoch scratch sketches are recycled
+  /// this way instead of being re-heap-allocated every epoch.
+  void Clear();
+
+  /// Fixed-geometry copy: same as operator= but checked to never touch the
+  /// heap (both sketches must already share geometry).
+  void AssignFrom(const FmSketch& other);
+
+  /// ORs a raw bitmap bank of matching geometry into this sketch. The memo
+  /// below replays cached AddValue banks through this path.
+  void OrBits(const std::vector<uint32_t>& bits);
 
   /// PCSA estimate of the number of distinct insertions, with the standard
   /// small-range correction (k/phi * (2^{S/k} - 2^{-1.75 S/k})) so that an
@@ -69,6 +83,42 @@ class FmSketch {
 
   uint64_t seed_;
   std::vector<uint32_t> bitmaps_;
+};
+
+/// Memoized AddValue. AddValue is a pure function of (key, value, seed,
+/// geometry) -- its "randomness" is hash-seeded -- so the bitmap bank a
+/// (key, value) insertion produces can be cached and OR-ed back in, bit
+/// identical to re-running the O(bitmaps * bits) binomial simulation. One
+/// entry is kept per key (the last value seen), which matches the
+/// slowly-changing sensor streams (LabData, diurnal synthetics) where a
+/// node's reading is unchanged for many consecutive epochs.
+///
+/// NOT thread-safe: use one memo (in practice, one aggregate instance) per
+/// thread. The parallel Experiment trial runner builds per-trial aggregates,
+/// so each memo stays thread-local.
+class FmValueMemo {
+ public:
+  FmValueMemo(int num_bitmaps, uint64_t seed)
+      : seed_(seed), scratch_(num_bitmaps, seed) {}
+
+  /// ORs the bank AddValue(key, value) would set into `into` (which must
+  /// share geometry and seed with the memo).
+  void AddValue(FmSketch* into, uint64_t key, uint64_t value);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t value = 0;
+    std::vector<uint32_t> bits;
+  };
+
+  uint64_t seed_;
+  FmSketch scratch_;
+  std::unordered_map<uint64_t, Entry> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace td

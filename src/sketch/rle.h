@@ -9,12 +9,20 @@
 //   - the length of the fringe                (5 bits)
 //   - the fringe bits verbatim                (fringe-length bits)
 // which compresses a typical populated bitmap to well under a byte.
+//
+// The bank codec (EncodeBankRle / BankRleBytes) is the message-size unit of
+// every simulated epoch, so it runs word-at-a-time: the bank is transposed
+// into a position-major 64-bit-word stream once, and runs are scanned with
+// countr_one/countr_zero instead of a div/mod per bit. The size-only and
+// encoding paths share the one run-scanning core.
 #ifndef TD_SKETCH_RLE_H_
 #define TD_SKETCH_RLE_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/status.h"
 
 namespace td {
 
@@ -46,6 +54,11 @@ class BitReader {
   uint64_t ReadGamma();
   bool AtEnd() const { return pos_ >= bytes_.size() * 8; }
 
+  /// Non-aborting variants for decoding untrusted input: return false
+  /// instead of CHECK-failing when the stream ends mid-value.
+  bool TryReadBit(bool* out);
+  bool TryReadGamma(uint64_t* out);
+
  private:
   const std::vector<uint8_t>& bytes_;
   size_t pos_ = 0;
@@ -69,9 +82,12 @@ size_t RleEncodedBytes(const std::vector<uint32_t>& bitmaps);
 /// single 48-byte TinyDB message as the paper reports. Lossless.
 std::vector<uint8_t> EncodeBankRle(const std::vector<uint32_t>& bitmaps);
 
-/// Inverse of EncodeBankRle; `count` is the number of bitmaps.
-std::vector<uint32_t> DecodeBankRle(const std::vector<uint8_t>& bytes,
-                                    size_t count);
+/// Inverse of EncodeBankRle; `count` is the number of bitmaps. Corrupt
+/// input is a checked error, not a silent truncation: a run that overruns
+/// the bank returns OutOfRange, a stream that ends mid-code returns
+/// InvalidArgument.
+StatusOr<std::vector<uint32_t>> DecodeBankRle(const std::vector<uint8_t>& bytes,
+                                              size_t count);
 
 /// Encoded size in bytes of the bank codec.
 size_t BankRleBytes(const std::vector<uint32_t>& bitmaps);

@@ -79,7 +79,8 @@ class TributaryDeltaAggregator {
         policy_(std::move(policy)),
         options_(options),
         region_(tree, rings),
-        damper_(options.adaptation) {
+        damper_(options.adaptation),
+        contrib_memo_(FmSketch::kDefaultBitmaps, options.contrib_seed) {
     TD_CHECK(tree != nullptr);
     TD_CHECK(rings != nullptr);
     TD_CHECK(network != nullptr);
@@ -167,10 +168,14 @@ class TributaryDeltaAggregator {
     } else {
       ++scratch_stats_.builds;
       empty_tree_partial_.emplace(aggregate_->EmptyTreePartial());
+      scratch_partial_.emplace(aggregate_->EmptyTreePartial());
       empty_synopsis_.emplace(aggregate_->EmptySynopsis());
+      scratch_syn_.emplace(aggregate_->EmptySynopsis());
       empty_contrib_ = FmSketch(FmSketch::kDefaultBitmaps,
                                 options_.contrib_seed);
+      scratch_contrib_ = empty_contrib_;
       empty_set_ = NodeSet(n);
+      scratch_covered_ = NodeSet(n);
     }
     scratch_.tree_inbox.assign(n, *empty_tree_partial_);
     scratch_.tree_count.assign(n, 0);
@@ -251,12 +256,13 @@ class TributaryDeltaAggregator {
   }
 
   void RunTreeNode(NodeId v, uint32_t epoch, EpochState* st) {
-    typename A::TreePartial partial = aggregate_->MakeTreePartial(v, epoch);
+    typename A::TreePartial& partial = *scratch_partial_;
+    td::MakeTreePartialInto(*aggregate_, &partial, v, epoch);
     aggregate_->MergeTree(&partial, st->tree_inbox[v]);
     aggregate_->FinalizeTreePartial(&partial, v);
     uint64_t contributing = 1 + st->tree_count[v];
-    NodeSet covered = st->inbox_set[v];
-    covered.Set(v);
+    scratch_covered_ = st->inbox_set[v];
+    scratch_covered_.Set(v);
 
     NodeId p = tree_->parent(v);
     TD_DCHECK(p != kNoParent);
@@ -270,18 +276,16 @@ class TributaryDeltaAggregator {
       // station directly stay exact (EvaluateCombined at the base).
       aggregate_->MergeTree(&st->tree_inbox[p], partial);
       st->tree_count[p] += contributing;
-      st->inbox_set[p].Union(covered);
+      st->inbox_set[p].Union(scratch_covered_);
     } else {
       // Tributary feeding the delta: convert to a synopsis on receipt
-      // (Section 5); the contributing count converts the same way the
-      // Count aggregate does.
-      typename A::Synopsis converted = aggregate_->Convert(partial);
-      aggregate_->Fuse(&st->syn_inbox[p], converted);
-      FmSketch contrib_converted(FmSketch::kDefaultBitmaps,
-                                 options_.contrib_seed);
-      contrib_converted.AddValue(v, contributing);
-      st->contrib_inbox[p].Merge(contrib_converted);
-      st->inbox_set[p].Union(covered);
+      // (Section 5), fused straight into the parent's inbox (no converted
+      // temporary); the contributing count converts the same way the Count
+      // aggregate does, replayed from the memo when (v, contributing)
+      // repeats across epochs.
+      td::FuseConverted(*aggregate_, &st->syn_inbox[p], partial);
+      contrib_memo_.AddValue(&st->contrib_inbox[p], v, contributing);
+      st->inbox_set[p].Union(scratch_covered_);
       // The M parent also tallies the exact count for its missing-nodes
       // report (strategy TD, Section 4.2).
       st->tree_count[p] += contributing;
@@ -289,14 +293,18 @@ class TributaryDeltaAggregator {
   }
 
   void RunMultipathNode(NodeId v, uint32_t epoch, EpochState* st) {
-    typename A::Synopsis syn = aggregate_->MakeSynopsis(v, epoch);
+    typename A::Synopsis& syn = *scratch_syn_;
+    td::MakeSynopsisInto(*aggregate_, &syn, v, epoch);
     aggregate_->Fuse(&syn, st->syn_inbox[v]);
 
-    FmSketch contrib(FmSketch::kDefaultBitmaps, options_.contrib_seed);
+    // Fixed-geometry copy + own-id insertion, bit-identical to building a
+    // fresh sketch and merging the inbox (OR commutes).
+    FmSketch& contrib = scratch_contrib_;
+    contrib.AssignFrom(st->contrib_inbox[v]);
     contrib.AddKey(v);
-    contrib.Merge(st->contrib_inbox[v]);
 
-    NodeSet covered = st->inbox_set[v];
+    NodeSet& covered = scratch_covered_;
+    covered = st->inbox_set[v];
     covered.Set(v);
 
     MissingAgg missing = st->missing_inbox[v];
@@ -349,6 +357,14 @@ class TributaryDeltaAggregator {
   std::optional<typename A::Synopsis> empty_synopsis_;
   FmSketch empty_contrib_;
   NodeSet empty_set_;
+  // Per-node temporaries recycled across the level sweep, plus the memo
+  // for tributary contributing-count conversions (AddValue is pure, so a
+  // repeated (node, count) pair replays its cached bank).
+  std::optional<typename A::TreePartial> scratch_partial_;
+  std::optional<typename A::Synopsis> scratch_syn_;
+  FmSketch scratch_contrib_;
+  NodeSet scratch_covered_;
+  FmValueMemo contrib_memo_;
   std::vector<size_t> subtree_size_;
   size_t population_ = 0;
   AdaptationFeedback last_feedback_;

@@ -95,6 +95,11 @@ double Rng::Exponential(double lambda) {
 uint64_t Rng::Binomial(uint64_t n, double p) {
   if (n == 0 || p <= 0.0) return 0;
   if (p >= 1.0) return n;
+  // Reflect p > 0.5 onto its complement: Binomial(n, p) == n - Binomial(n,
+  // 1-p) in distribution, and the waiting-time method below needs small p
+  // (its geometric gaps shrink toward 0 as p -> 1, degrading both accuracy
+  // and cost).
+  if (p > 0.5) return n - Binomial(n, 1.0 - p);
   double np = static_cast<double>(n) * p;
   if (n <= 64 || np < 16.0) {
     // Exact: waiting-time method for small np, direct trials for small n.

@@ -58,9 +58,10 @@ class Rng {
   /// Exponential with rate lambda.
   double Exponential(double lambda);
 
-  /// Binomial(n, p) sample. Exact inversion for small n*p, normal
-  /// approximation with continuity correction for large n (adequate for
-  /// simulation workloads; error << sketch noise).
+  /// Binomial(n, p) sample. p > 0.5 reflects onto n - Binomial(n, 1-p);
+  /// then exact inversion for small n*p, normal approximation with
+  /// continuity correction for large n (adequate for simulation workloads;
+  /// error << sketch noise).
   uint64_t Binomial(uint64_t n, double p);
 
   /// Geometric: number of failures before first success, success prob p.

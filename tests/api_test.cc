@@ -204,6 +204,83 @@ TEST(RunEpochsTest, InboxScratchAllocatedOncePerEngine) {
   }
 }
 
+// ------------------------------------------------------------ RunTrials
+
+std::vector<GoldenRow> AllRows(const SweepResult& r) {
+  std::vector<GoldenRow> out;
+  for (const RunResult& trial : r.trials) {
+    for (const EpochResult& e : trial.epochs) {
+      out.push_back(GoldenRow{e.value, e.true_contributing,
+                              e.reported_contributing});
+    }
+  }
+  return out;
+}
+
+TEST_P(GoldenStrategyTest, RunTrialsIndependentOfThreadCount) {
+  // The determinism contract: trial t is seeded from (base seed, t), so
+  // Threads(1) and Threads(8) must produce bit-identical per-epoch
+  // estimates, RMS, byte tallies and merged sweep statistics.
+  auto sweep = [&](unsigned threads) {
+    return Experiment::Builder()
+        .Synthetic(41, 120)
+        .Aggregate(AggregateKind::kCount)
+        .Strategy(GetParam())
+        .GlobalLossRate(0.25)
+        .NetworkSeed(17)
+        .AdaptPeriod(5)
+        .Warmup(5)
+        .Epochs(10)
+        .Trials(6)
+        .Threads(threads)
+        .RunTrials();
+  };
+  SweepResult serial = sweep(1);
+  SweepResult threaded = sweep(8);
+
+  ASSERT_EQ(serial.trials.size(), 6u);
+  ASSERT_EQ(threaded.trials.size(), 6u);
+  EXPECT_EQ(AllRows(serial), AllRows(threaded));
+  for (size_t t = 0; t < serial.trials.size(); ++t) {
+    EXPECT_EQ(serial.trials[t].rms, threaded.trials[t].rms) << "trial " << t;
+    EXPECT_EQ(serial.trials[t].bytes_per_epoch,
+              threaded.trials[t].bytes_per_epoch)
+        << "trial " << t;
+    EXPECT_EQ(serial.trials[t].energy.bytes, threaded.trials[t].energy.bytes)
+        << "trial " << t;
+    EXPECT_EQ(serial.trials[t].final_delta_size,
+              threaded.trials[t].final_delta_size)
+        << "trial " << t;
+  }
+  // Merged parallel-Welford summaries are combined in trial order, so they
+  // match bitwise too.
+  EXPECT_EQ(serial.rms.mean(), threaded.rms.mean());
+  EXPECT_EQ(serial.rms.variance(), threaded.rms.variance());
+  EXPECT_EQ(serial.bytes_per_epoch.mean(), threaded.bytes_per_epoch.mean());
+  EXPECT_EQ(serial.estimates.mean(), threaded.estimates.mean());
+  EXPECT_EQ(serial.estimates.variance(), threaded.estimates.variance());
+  EXPECT_EQ(serial.estimates.count(), threaded.estimates.count());
+}
+
+TEST(RunTrialsTest, TrialsDifferAndStatsMatchPooledEpochs) {
+  SweepResult r = Experiment::Builder()
+                      .Synthetic(42, 120)
+                      .Aggregate(AggregateKind::kCount)
+                      .Strategy(Strategy::kSynopsisDiffusion)
+                      .GlobalLossRate(0.3)
+                      .NetworkSeed(3)
+                      .Epochs(8)
+                      .Trials(4)
+                      .Threads(2)
+                      .RunTrials();
+  ASSERT_EQ(r.trials.size(), 4u);
+  // Distinct per-trial seeds: the loss draws (and hence estimates) differ.
+  EXPECT_NE(r.trials[0].epochs[0].value, r.trials[1].epochs[0].value);
+  // The pooled estimate accumulator covers every measured epoch.
+  EXPECT_EQ(r.estimates.count(), 4u * 8u);
+  EXPECT_EQ(r.rms.count(), 4u);
+}
+
 // ------------------------------------------------------------- RunResult
 
 TEST(ExperimentTest, RunResultSeriesAreConsistent) {

@@ -85,9 +85,10 @@ TEST_P(FmGeometryTest, BankCodecLossless) {
   FmSketch s(bitmaps, 2);
   Rng rng(static_cast<uint64_t>(bitmaps));
   for (int i = 0; i < 500; ++i) s.AddValue(rng.Next(), 1 + rng.NextBounded(9));
-  EXPECT_EQ(DecodeBankRle(EncodeBankRle(s.bitmaps()),
-                          static_cast<size_t>(bitmaps)),
-            s.bitmaps());
+  auto decoded = DecodeBankRle(EncodeBankRle(s.bitmaps()),
+                               static_cast<size_t>(bitmaps));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), s.bitmaps());
 }
 
 class KmvGeometryTest : public ::testing::TestWithParam<size_t> {};

@@ -4,6 +4,7 @@
 // the same logical contribution) must not change it.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -166,14 +167,243 @@ TEST(RleTest, BankCodecRoundtrip) {
     std::vector<uint32_t> bitmaps;
     for (int i = 0; i < 40; ++i) bitmaps.push_back(static_cast<uint32_t>(rng.Next()));
     auto bytes = EncodeBankRle(bitmaps);
-    EXPECT_EQ(DecodeBankRle(bytes, 40), bitmaps);
+    auto decoded = DecodeBankRle(bytes, 40);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), bitmaps);
     EXPECT_EQ(bytes.size(), BankRleBytes(bitmaps));
   }
   // Populated FM banks roundtrip too.
   FmSketch s(40, 9);
   for (uint64_t k = 0; k < 2000; ++k) s.AddKey(k);
   auto bytes = EncodeBankRle(s.bitmaps());
-  EXPECT_EQ(DecodeBankRle(bytes, 40), s.bitmaps());
+  auto decoded = DecodeBankRle(bytes, 40);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), s.bitmaps());
+}
+
+// Bit-at-a-time reference implementations of the bank codec, kept here so
+// the word-level fast paths in rle.cc are pinned against the original
+// semantics (same runs, same gamma codes, same byte stream).
+namespace reference {
+
+bool BankBit(const std::vector<uint32_t>& bitmaps, size_t index) {
+  size_t pos = index / bitmaps.size();
+  size_t j = index % bitmaps.size();
+  return (bitmaps[j] >> pos) & 1;
+}
+
+std::vector<uint8_t> EncodeBankRle(const std::vector<uint32_t>& bitmaps) {
+  BitWriter w;
+  if (bitmaps.empty()) return w.bytes();
+  const size_t total = bitmaps.size() * 32;
+  bool current = BankBit(bitmaps, 0);
+  w.WriteBit(current);
+  uint64_t run = 1;
+  for (size_t i = 1; i < total; ++i) {
+    bool bit = BankBit(bitmaps, i);
+    if (bit == current) {
+      ++run;
+    } else {
+      w.WriteGamma(run);
+      current = bit;
+      run = 1;
+    }
+  }
+  w.WriteGamma(run);
+  return w.bytes();
+}
+
+size_t BankRleBytes(const std::vector<uint32_t>& bitmaps) {
+  if (bitmaps.empty()) return 0;
+  const size_t total = bitmaps.size() * 32;
+  size_t bits = 1;
+  bool current = BankBit(bitmaps, 0);
+  uint64_t run = 1;
+  auto gamma_bits = [](uint64_t n) {
+    int len = 63 - std::countl_zero(n);
+    return static_cast<size_t>(2 * len + 1);
+  };
+  for (size_t i = 1; i < total; ++i) {
+    bool bit = BankBit(bitmaps, i);
+    if (bit == current) {
+      ++run;
+    } else {
+      bits += gamma_bits(run);
+      current = bit;
+      run = 1;
+    }
+  }
+  bits += gamma_bits(run);
+  return (bits + 7) / 8;
+}
+
+}  // namespace reference
+
+std::vector<uint32_t> AdversarialBank(int which, int count, Rng* rng) {
+  std::vector<uint32_t> bank;
+  for (int i = 0; i < count; ++i) {
+    switch (which) {
+      case 0:
+        bank.push_back(0u);  // all-zero
+        break;
+      case 1:
+        bank.push_back(~0u);  // all-one
+        break;
+      case 2:
+        bank.push_back(i % 2 ? 0x55555555u : 0xaaaaaaaau);  // alternating
+        break;
+      case 3:
+        bank.push_back(static_cast<uint32_t>(rng->Next()));  // random
+        break;
+      default:
+        bank.push_back(static_cast<uint32_t>(rng->Next()) &
+                       static_cast<uint32_t>(rng->Next()));  // sparse random
+    }
+  }
+  return bank;
+}
+
+TEST(RleTest, BankCodecPropertyRoundtrip) {
+  // Random and adversarial banks over several bank widths: encoding must
+  // round-trip and BankRleBytes must always equal the encoded size.
+  Rng rng(311);
+  for (int count : {1, 3, 40, 64, 100}) {
+    for (int which = 0; which < 5; ++which) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<uint32_t> bank = AdversarialBank(which, count, &rng);
+        auto bytes = EncodeBankRle(bank);
+        EXPECT_EQ(bytes.size(), BankRleBytes(bank))
+            << "count=" << count << " which=" << which;
+        auto decoded = DecodeBankRle(bytes, bank.size());
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded.value(), bank)
+            << "count=" << count << " which=" << which;
+      }
+    }
+  }
+}
+
+TEST(RleTest, WordLevelBitMatchesBitAtATimeReference) {
+  // Golden: the fast paths must produce byte-identical encodings and
+  // identical sizes to the original bit-at-a-time implementation.
+  Rng rng(313);
+  for (int count : {1, 7, 40, 65}) {
+    for (int which = 0; which < 5; ++which) {
+      std::vector<uint32_t> bank = AdversarialBank(which, count, &rng);
+      EXPECT_EQ(EncodeBankRle(bank), reference::EncodeBankRle(bank))
+          << "count=" << count << " which=" << which;
+      EXPECT_EQ(BankRleBytes(bank), reference::BankRleBytes(bank))
+          << "count=" << count << " which=" << which;
+    }
+  }
+  // Populated FM banks, various fill levels.
+  for (uint64_t n : {1ull, 50ull, 5000ull, 200000ull}) {
+    FmSketch s(40, 17);
+    for (uint64_t k = 0; k < n; ++k) s.AddKey(k);
+    EXPECT_EQ(EncodeBankRle(s.bitmaps()), reference::EncodeBankRle(s.bitmaps()));
+    EXPECT_EQ(BankRleBytes(s.bitmaps()), reference::BankRleBytes(s.bitmaps()));
+  }
+}
+
+TEST(RleTest, DecodeRejectsOverlongRun) {
+  // A run that overruns the bank is corrupt input, not a silent clamp.
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteGamma(40 * 32 + 7);  // bank holds 1280 bits; claim 1287
+  auto result = DecodeBankRle(w.bytes(), 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(RleTest, DecodeRejectsOverlongMiddleRun) {
+  BitWriter w;
+  w.WriteBit(false);
+  w.WriteGamma(1000);  // 280 bits of room left...
+  w.WriteGamma(300);   // ...but the next run claims 300
+  auto result = DecodeBankRle(w.bytes(), 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(RleTest, DecodeRejectsWrappedGammaRun) {
+  // A gamma code with >= 64 leading zeros would wrap its value modulo
+  // 2^64 (e.g. 2^66 + 4 reads back as 4) and sneak past the overrun
+  // check; the reader must reject it as malformed instead.
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBits(0, 64);          // 66 leading zeros: claims a 67-bit value
+  w.WriteBits(0, 2);
+  w.WriteBits(~0ULL, 64);      // plenty of value bits to keep reading
+  w.WriteBits(~0ULL, 64);
+  auto result = DecodeBankRle(w.bytes(), 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(RleTest, DecodeRejectsTruncatedStream) {
+  FmSketch s(40, 21);
+  for (uint64_t k = 0; k < 500; ++k) s.AddKey(k);
+  auto bytes = EncodeBankRle(s.bitmaps());
+  bytes.resize(bytes.size() / 2);  // cut the stream mid-run
+  auto result = DecodeBankRle(bytes, 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(RleTest, DecodeRejectsEmptyStream) {
+  auto result = DecodeBankRle({}, 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+// --------------------------------------------------------- FmValueMemo --
+
+TEST(FmValueMemoTest, BitIdenticalToAddValue) {
+  FmValueMemo memo(40, 5);
+  Rng rng(401);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t key = rng.NextBounded(10);      // keys repeat
+    uint64_t value = 1 + rng.NextBounded(4);  // values repeat per key
+    FmSketch direct(40, 5);
+    direct.AddValue(key, value);
+    FmSketch memoized(40, 5);
+    memo.AddValue(&memoized, key, value);
+    EXPECT_TRUE(direct == memoized) << "key=" << key << " value=" << value;
+  }
+}
+
+TEST(FmValueMemoTest, RepeatedReadingHitsCache) {
+  FmValueMemo memo(40, 5);
+  FmSketch s(40, 5);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    s.Clear();
+    for (uint64_t node = 0; node < 8; ++node) memo.AddValue(&s, node, 100);
+  }
+  EXPECT_EQ(memo.misses(), 8u);       // first epoch simulates
+  EXPECT_EQ(memo.hits(), 9u * 8u);    // the rest replay cached banks
+}
+
+TEST(FmValueMemoTest, ZeroValueIsNoop) {
+  FmValueMemo memo(40, 5);
+  FmSketch s(40, 5);
+  memo.AddValue(&s, 3, 0);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(memo.misses(), 0u);
+}
+
+TEST(FmSketchTest, ClearAndAssignFromReuseStorage) {
+  FmSketch a(40, 5), b(40, 5);
+  a.AddValue(1, 1000);
+  b.AddValue(2, 2000);
+  FmSketch c = a;
+  c.Clear();
+  EXPECT_TRUE(c.Empty());
+  c.AssignFrom(b);
+  EXPECT_TRUE(c == b);
+  c.OrBits(a.bitmaps());
+  FmSketch merged = a;
+  merged.Merge(b);
+  EXPECT_TRUE(c == merged);
 }
 
 // ------------------------------------------------------------------ RLE --

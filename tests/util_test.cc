@@ -131,6 +131,33 @@ TEST(RngTest, BinomialEdgeCases) {
   EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
 }
 
+TEST(RngTest, BinomialHighPReflection) {
+  // p > 0.5 reflects onto n - Binomial(n, 1-p); the distribution must keep
+  // the binomial mean and variance. Before the reflection the waiting-time
+  // path degraded in this regime (tiny geometric gaps, accumulating
+  // floating-point error); exercise the exact, waiting-time *and* normal
+  // approximation regimes.
+  struct {
+    uint64_t n;
+    double p;
+  } cases[] = {{20, 0.75}, {200, 0.95}, {100000, 0.9}};
+  Rng rng(47);
+  for (const auto& c : cases) {
+    RunningStat stat;
+    const int samples = c.n > 1000 ? 5000 : 20000;
+    for (int i = 0; i < samples; ++i) {
+      uint64_t k = rng.Binomial(c.n, c.p);
+      ASSERT_LE(k, c.n);
+      stat.Add(static_cast<double>(k));
+    }
+    const double mean = static_cast<double>(c.n) * c.p;
+    const double sd = std::sqrt(mean * (1.0 - c.p));
+    EXPECT_NEAR(stat.mean(), mean, 5.0 * sd / std::sqrt(samples))
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(stat.stddev(), sd, 0.1 * sd) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
 TEST(RngTest, GeometricMean) {
   Rng rng(43);
   RunningStat stat;

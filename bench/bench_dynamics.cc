@@ -1,0 +1,208 @@
+// Dynamic-network scenario sweep: the five strategies under the
+// workload/dynamics presets (churn, bursty loss, duty cycling, loss waves,
+// and the combined storm), measuring how each scheme's accuracy and energy
+// hold up when the network itself is moving -- the robustness regime the
+// paper's Sections 5-7 argue about but the static figure benches never
+// exercise.
+//
+// Every (preset, strategy) cell runs a Monte Carlo sweep twice, once on one
+// thread and once on all cores, and the bench *fails* (non-zero exit) if
+// the per-epoch estimates differ anywhere: CI runs this as a determinism
+// gate alongside the numbers. Results land in BENCH_dynamics.json.
+//
+// Usage:
+//   bench_dynamics [--scenario=churn|bursty|dutycycle|losswave|storm|all]
+//                  [--trials=N] [--sensors=N] [--warmup=N] [--epochs=N]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/table.h"
+#include "workload/dynamics.h"
+
+using namespace td;
+using namespace td::bench;
+
+namespace {
+
+struct CellResult {
+  double rms_mean = 0.0;
+  double rms_stddev = 0.0;
+  double bytes_per_epoch = 0.0;
+  double repairs = 0.0;
+  double expansions = 0.0;
+  double shrinks = 0.0;
+  double final_delta = 0.0;
+  bool deterministic = false;
+};
+
+SweepResult RunSweep(const DynamicsPreset& preset, Strategy strategy,
+                     uint32_t trials, size_t sensors, uint32_t warmup,
+                     uint32_t epochs, unsigned threads) {
+  DynamicsConfig config = preset.config;
+  config.horizon = warmup + epochs;
+  return Experiment::Builder()
+      .Synthetic(/*seed=*/42, sensors)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(strategy)
+      .GlobalLossRate(preset.base_loss)
+      .Dynamics(config)
+      .NetworkSeed(0xbe11)
+      .Warmup(warmup)
+      .Epochs(epochs)
+      .Trials(trials)
+      .Threads(threads)
+      .RunTrials();
+}
+
+bool SameEstimates(const SweepResult& a, const SweepResult& b) {
+  if (a.trials.size() != b.trials.size()) return false;
+  for (size_t t = 0; t < a.trials.size(); ++t) {
+    const std::vector<EpochResult>& ea = a.trials[t].epochs;
+    const std::vector<EpochResult>& eb = b.trials[t].epochs;
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].value != eb[i].value ||
+          ea[i].true_contributing != eb[i].true_contributing) {
+        return false;
+      }
+    }
+    if (a.trials[t].bytes_per_epoch != b.trials[t].bytes_per_epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CellResult RunCell(const DynamicsPreset& preset, Strategy strategy,
+                   uint32_t trials, size_t sensors, uint32_t warmup,
+                   uint32_t epochs) {
+  SweepResult one =
+      RunSweep(preset, strategy, trials, sensors, warmup, epochs, 1);
+  SweepResult many =
+      RunSweep(preset, strategy, trials, sensors, warmup, epochs, 0);
+
+  CellResult cell;
+  cell.deterministic = SameEstimates(one, many);
+  RunningStat rms, bytes, repairs, delta;
+  double expansions = 0.0;
+  double shrinks = 0.0;
+  for (const RunResult& r : one.trials) {
+    rms.Add(r.rms);
+    bytes.Add(r.bytes_per_epoch);
+    repairs.Add(static_cast<double>(r.topology_repairs));
+    delta.Add(static_cast<double>(r.final_delta_size));
+    expansions += static_cast<double>(r.stats.expansions);
+    shrinks += static_cast<double>(r.stats.shrinks);
+  }
+  cell.rms_mean = rms.mean();
+  cell.rms_stddev = rms.stddev();
+  cell.bytes_per_epoch = bytes.mean();
+  cell.repairs = repairs.mean();
+  cell.expansions = expansions;
+  cell.shrinks = shrinks;
+  cell.final_delta = delta.mean();
+  return cell;
+}
+
+uint64_t ParseFlag(std::string_view arg, std::string_view name,
+                   uint64_t fallback) {
+  if (!arg.starts_with(name)) return fallback;
+  return std::strtoull(std::string(arg.substr(name.size())).c_str(),
+                       nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "all";
+  uint32_t trials = 3;
+  size_t sensors = 300;
+  uint32_t warmup = 20;
+  uint32_t epochs = 120;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    constexpr std::string_view kScenarioFlag = "--scenario=";
+    if (arg.starts_with(kScenarioFlag)) {
+      scenario = std::string(arg.substr(kScenarioFlag.size()));
+    }
+    trials = static_cast<uint32_t>(ParseFlag(arg, "--trials=", trials));
+    sensors = static_cast<size_t>(ParseFlag(arg, "--sensors=", sensors));
+    warmup = static_cast<uint32_t>(ParseFlag(arg, "--warmup=", warmup));
+    epochs = static_cast<uint32_t>(ParseFlag(arg, "--epochs=", epochs));
+  }
+
+  std::vector<const DynamicsPreset*> presets;
+  if (scenario == "all") {
+    for (const DynamicsPreset& p : DynamicsPresets()) presets.push_back(&p);
+  } else {
+    const DynamicsPreset* p = FindDynamicsPreset(scenario);
+    if (p == nullptr) {
+      std::fprintf(stderr, "unknown --scenario=%s; known:", scenario.c_str());
+      for (const DynamicsPreset& known : DynamicsPresets()) {
+        std::fprintf(stderr, " %s", known.name);
+      }
+      std::fprintf(stderr, " all\n");
+      return 2;
+    }
+    presets.push_back(p);
+  }
+
+  std::printf(
+      "Dynamic scenarios: Count query, %zu sensors, %u warmup + %u measured "
+      "epochs, %u trials\n(every cell re-run on all cores and checked "
+      "bit-identical to the single-thread sweep)\n",
+      sensors, warmup, epochs, trials);
+
+  BenchJson json("dynamics");
+  bool all_deterministic = true;
+
+  for (const DynamicsPreset* preset : presets) {
+    std::printf("\n[%s] %s\n\n", preset->name, preset->description);
+    Table table({"strategy", "rms", "rms_sd", "bytes/epoch", "repairs",
+                 "expand", "shrink", "delta"});
+    for (Strategy s : kAllStrategies) {
+      CellResult cell =
+          RunCell(*preset, s, trials, sensors, warmup, epochs);
+      all_deterministic = all_deterministic && cell.deterministic;
+      if (!cell.deterministic) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAILURE: %s/%s differs between Threads(1) "
+                     "and Threads(N)\n",
+                     preset->name, StrategyName(s));
+      }
+      table.AddRow({StrategyName(s), Table::Num(cell.rms_mean, 3),
+                    Table::Num(cell.rms_stddev, 3),
+                    Table::Num(cell.bytes_per_epoch, 0),
+                    Table::Num(cell.repairs, 1),
+                    Table::Num(cell.expansions, 0),
+                    Table::Num(cell.shrinks, 0),
+                    Table::Num(cell.final_delta, 1)});
+      json.Entry()
+          .Field("scenario", preset->name)
+          .Field("strategy", StrategyName(s))
+          .Field("rms", cell.rms_mean)
+          .Field("rms_stddev", cell.rms_stddev)
+          .Field("bytes_per_epoch", cell.bytes_per_epoch)
+          .Field("repairs", cell.repairs)
+          .Field("expansions", cell.expansions)
+          .Field("shrinks", cell.shrinks)
+          .Field("final_delta", cell.final_delta)
+          .Field("deterministic", cell.deterministic ? 1.0 : 0.0);
+    }
+    table.PrintAligned(std::cout);
+  }
+
+  json.Write();
+  if (!all_deterministic) {
+    std::fprintf(stderr, "\nFAILED: thread-count determinism violated\n");
+    return 1;
+  }
+  std::printf("\nThread-count determinism: OK\n");
+  return 0;
+}

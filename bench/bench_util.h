@@ -23,6 +23,16 @@
 #include "util/stats.h"
 #include "workload/scenario.h"
 
+// Build attribution stamped into every BENCH_*.json so uploaded artifacts
+// are traceable to a commit and build flavor. The definitions come from
+// CMake (configure-time `git rev-parse`); "unknown" outside a git checkout.
+#ifndef TD_GIT_SHA
+#define TD_GIT_SHA "unknown"
+#endif
+#ifndef TD_BUILD_TYPE
+#define TD_BUILD_TYPE "unknown"
+#endif
+
 namespace td {
 namespace bench {
 
@@ -93,8 +103,10 @@ class BenchJson {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 name_.c_str());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                 "  \"build_type\": \"%s\",\n  \"results\": [\n",
+                 name_.c_str(), TD_GIT_SHA, TD_BUILD_TYPE);
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "    {");
       for (size_t k = 0; k < records_[i].size(); ++k) {

@@ -95,6 +95,12 @@ class Engine {
   virtual Strategy strategy() const = 0;
   virtual Network& network() const = 0;
 
+  /// Notification that the scenario's tree and rings were repaired in
+  /// place (dynamic scenarios, after churn). Tree and multipath engines
+  /// re-read the topology every epoch and need no reaction; adaptive
+  /// engines re-derive their cached tree state and resync the region.
+  virtual void OnTopologyChanged() {}
+
   /// Adaptation counters (zeros when !IsAdaptive(strategy())).
   virtual EngineStats stats() const { return {}; }
 
@@ -206,6 +212,7 @@ class TributaryDeltaEngine final : public Engine {
   }
   Strategy strategy() const override { return strategy_; }
   Network& network() const override { return *network_; }
+  void OnTopologyChanged() override { inner_.OnTopologyChanged(); }
   EngineStats stats() const override {
     return EngineStats{.expansions = inner_.stats().expansions,
                        .shrinks = inner_.stats().shrinks,

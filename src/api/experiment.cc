@@ -116,6 +116,11 @@ Experiment::Builder& Experiment::Builder::TreeRetries(int extra) {
   return *this;
 }
 
+Experiment::Builder& Experiment::Builder::Dynamics(DynamicsConfig config) {
+  dynamics_ = std::move(config);
+  return *this;
+}
+
 Experiment::Builder& Experiment::Builder::LossModel(
     std::shared_ptr<td::LossModel> model) {
   loss_ = std::move(model);
@@ -193,6 +198,24 @@ Experiment Experiment::Builder::Build() {
     case ScenarioSource::kNone:
       break;
   }
+
+  // Dynamics: repairs mutate the scenario, so the experiment needs its own
+  // copy (shared external scenarios stay pristine; RunTrials hands every
+  // trial the same resolved scenario and each trial clones it here).
+  if (dynamics_) {
+    TD_CHECK(shared_network_ == nullptr);
+    TD_CHECK(kind_ != AggregateKind::kFrequentItems);
+    if (exp.owned_scenario_ == nullptr) {
+      exp.owned_scenario_ = std::make_unique<td::Scenario>(*exp.scenario_);
+      exp.scenario_ = exp.owned_scenario_.get();
+    }
+    DynamicsConfig config = *dynamics_;
+    if (config.horizon == 0) config.horizon = warmup_ + epochs_;
+    // Stream seed from the per-trial network seed: bit-identical for any
+    // RunTrials thread count, different per trial.
+    exp.dynamics_ = std::make_shared<DynamicScenario>(
+        exp.owned_scenario_.get(), config, Hash64(network_seed_, config.seed));
+  }
   const td::Scenario& sc = *exp.scenario_;
 
   // Network.
@@ -206,6 +229,15 @@ Experiment Experiment::Builder::Build() {
       loss = loss_factory_(sc);
     }
     if (loss == nullptr) loss = std::make_shared<GlobalLoss>(0.0);
+    if (dynamics_ && dynamics_->bursty) {
+      // Gilbert-Elliott bursts overlay the static model; per-trial seed so
+      // burst patterns differ across trials yet stay schedule-independent.
+      loss = std::make_shared<MaxLoss>(
+          std::move(loss),
+          std::make_shared<GilbertElliottLoss>(
+              *dynamics_->bursty, Hash64(network_seed_, 0x6e11b0acULL)));
+    }
+    if (exp.dynamics_) exp.dynamics_->SetBaseLoss(loss);
     exp.network_ = std::make_shared<td::Network>(
         &sc.deployment, &sc.connectivity, std::move(loss), network_seed_);
   }
@@ -235,20 +267,47 @@ Experiment Experiment::Builder::Build() {
   };
 
   exp.truth_ = truth_;
+  // Sensors the default ground truths range over at epoch e. Static runs
+  // use the fixed in-tree set; under dynamics only the sensors that are up
+  // (alive and awake) at e count -- a powered-down node produces no
+  // reading, so it belongs in neither the answer nor the truth. IsNodeUp
+  // is a pure function of the precomputed event stream, safe to evaluate
+  // after the run and from RunTrials workers.
+  using SensorList = std::shared_ptr<const std::vector<NodeId>>;
+  std::function<SensorList(uint32_t)> sensors_at;
+  if (exp.dynamics_) {
+    std::shared_ptr<DynamicScenario> dyn = exp.dynamics_;
+    sensors_at = [dyn, sensors](uint32_t e) {
+      auto up = std::make_shared<std::vector<NodeId>>();
+      up->reserve(sensors.size());
+      for (NodeId v : sensors) {
+        if (dyn->IsNodeUp(v, e)) up->push_back(v);
+      }
+      return SensorList(std::move(up));
+    };
+  } else {
+    // The static set never changes: hand out the same list every epoch.
+    SensorList fixed = std::make_shared<const std::vector<NodeId>>(sensors);
+    sensors_at = [fixed](uint32_t) { return fixed; };
+  }
   switch (kind_) {
     case AggregateKind::kCount:
       install(std::make_shared<CountAggregate>(bitmaps));
       if (!exp.truth_) {
-        exp.truth_ = [n = exp.population_](uint32_t) { return n; };
+        exp.truth_ = [sensors_at](uint32_t e) {
+          return static_cast<double>(sensors_at(e)->size());
+        };
       }
       break;
     case AggregateKind::kSum:
       TD_CHECK(reading != nullptr);
       install(std::make_shared<SumAggregate>(reading, bitmaps));
       if (!exp.truth_) {
-        exp.truth_ = [sensors, reading](uint32_t e) {
+        exp.truth_ = [sensors_at, reading](uint32_t e) {
           double t = 0;
-          for (NodeId v : sensors) t += static_cast<double>(reading(v, e));
+          for (NodeId v : *sensors_at(e)) {
+            t += static_cast<double>(reading(v, e));
+          }
           return t;
         };
       }
@@ -257,10 +316,12 @@ Experiment Experiment::Builder::Build() {
       TD_CHECK(reading != nullptr);
       install(std::make_shared<AverageAggregate>(reading, bitmaps));
       if (!exp.truth_) {
-        exp.truth_ = [sensors, reading](uint32_t e) {
+        exp.truth_ = [sensors_at, reading](uint32_t e) {
+          SensorList up = sensors_at(e);
+          if (up->empty()) return 0.0;
           double t = 0;
-          for (NodeId v : sensors) t += static_cast<double>(reading(v, e));
-          return t / static_cast<double>(sensors.size());
+          for (NodeId v : *up) t += static_cast<double>(reading(v, e));
+          return t / static_cast<double>(up->size());
         };
       }
       break;
@@ -273,9 +334,11 @@ Experiment Experiment::Builder::Build() {
                  : ExtremumAggregate::Kind::kMax,
           real_reading));
       if (!exp.truth_) {
-        exp.truth_ = [sensors, real_reading, is_min](uint32_t e) {
-          double t = real_reading(sensors.front(), e);
-          for (NodeId v : sensors) {
+        exp.truth_ = [sensors_at, real_reading, is_min](uint32_t e) {
+          SensorList up = sensors_at(e);
+          if (up->empty()) return 0.0;
+          double t = real_reading(up->front(), e);
+          for (NodeId v : *up) {
             double r = real_reading(v, e);
             t = is_min ? std::min(t, r) : std::max(t, r);
           }
@@ -288,9 +351,9 @@ Experiment Experiment::Builder::Build() {
       TD_CHECK(reading != nullptr);
       install(std::make_shared<UniqueCountAggregate>(reading, bitmaps));
       if (!exp.truth_) {
-        exp.truth_ = [sensors, reading](uint32_t e) {
+        exp.truth_ = [sensors_at, reading](uint32_t e) {
           std::set<uint64_t> distinct;
-          for (NodeId v : sensors) distinct.insert(reading(v, e));
+          for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
           return static_cast<double>(distinct.size());
         };
       }
@@ -347,8 +410,9 @@ SweepResult Experiment::Builder::RunTrials() {
 
   const uint32_t trials = trials_;
   const uint64_t base_seed = network_seed_;
-  unsigned workers = threads_ != 0 ? threads_
-                                   : std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers =
+      threads_ != 0 ? threads_
+                    : std::max(1u, std::thread::hardware_concurrency());
   if (workers > trials) workers = trials;
 
   std::vector<RunResult> results(trials);
@@ -392,14 +456,25 @@ SweepResult Experiment::Builder::RunTrials() {
 
 // -------------------------------------------------------------- Experiment
 
+EpochResult Experiment::StepEpoch(uint32_t epoch) {
+  if (dynamics_) {
+    EpochDynamics d = dynamics_->Advance(epoch, network_.get());
+    if (d.topology_changed) engine_->OnTopologyChanged();
+  }
+  return engine_->RunEpoch(epoch);
+}
+
 RunResult Experiment::Run() {
   TD_CHECK_GT(epochs_, 0u);
   // Warmup results are discarded one by one (no batch accumulation).
-  for (uint32_t e = 0; e < warmup_; ++e) engine_->RunEpoch(e);
+  for (uint32_t e = 0; e < warmup_; ++e) StepEpoch(e);
   if (warmup_ > 0) network_->ResetEnergy();
 
   RunResult out;
-  out.epochs = engine_->RunEpochs(warmup_, epochs_);
+  out.epochs.reserve(epochs_);
+  for (uint32_t e = warmup_; e < warmup_ + epochs_; ++e) {
+    out.epochs.push_back(StepEpoch(e));
+  }
   out.contributing.reserve(out.epochs.size());
   for (const EpochResult& e : out.epochs) {
     out.contributing.push_back(static_cast<double>(e.true_contributing) /
@@ -412,6 +487,7 @@ RunResult Experiment::Run() {
       static_cast<double>(out.energy.bytes) / static_cast<double>(epochs_);
   out.final_delta_size = engine_->delta_size();
   out.stats = engine_->stats();
+  if (dynamics_) out.topology_repairs = dynamics_->repairs();
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "freq/precision_gradient.h"
 #include "net/loss_model.h"
 #include "util/stats.h"
+#include "workload/dynamics.h"
 #include "workload/scenario.h"
 
 namespace td {
@@ -60,6 +62,10 @@ struct RunResult {
 
   /// Adaptation counters over the whole run, warmup included.
   EngineStats stats;
+
+  /// Dynamic scenarios only: topology repair passes over the whole run
+  /// (warmup included); 0 for static runs.
+  size_t topology_repairs = 0;
 
   /// The per-epoch numeric estimates, extracted from `epochs`.
   std::vector<double> estimates() const;
@@ -101,6 +107,14 @@ class Experiment {
   const Scenario& scenario() const { return *scenario_; }
   Network& network() { return *network_; }
 
+  /// The dynamic-scenario driver, or nullptr for static experiments.
+  DynamicScenario* dynamics() { return dynamics_.get(); }
+
+  /// Runs one epoch through the facade: applies the epoch's dynamic events
+  /// (when any), notifies the engine of topology repairs, then aggregates.
+  /// Stepping call sites must visit epochs in increasing order.
+  EpochResult StepEpoch(uint32_t epoch);
+
   /// Runs warmup then measured epochs and derives the summary series.
   /// Energy counters reset after warmup (shared-network users beware).
   RunResult Run();
@@ -113,6 +127,7 @@ class Experiment {
   std::shared_ptr<td::Network> network_;
   std::shared_ptr<void> aggregate_;  // keep-alive for the engine's aggregate
   std::unique_ptr<td::Engine> engine_;
+  std::shared_ptr<td::DynamicScenario> dynamics_;
   uint32_t warmup_ = 0;
   uint32_t epochs_ = 0;
   std::function<double(uint32_t)> truth_;
@@ -156,6 +171,16 @@ class Experiment::Builder {
   Builder& Damping(bool on);
   /// Extra tree retransmissions (overrides the strategy default).
   Builder& TreeRetries(int extra);
+
+  // ------------------------------------------------------------- dynamics
+  /// Evolves the scenario across epochs (churn, bursty loss, duty cycles,
+  /// loss sweeps -- see workload/dynamics.h). The scenario is cloned per
+  /// experiment (and per trial) because repairs mutate it; the event
+  /// stream is seeded from the trial's network seed, so RunTrials sweeps
+  /// stay bit-identical for any thread count. Incompatible with Network()
+  /// sharing and with kFrequentItems. A zero config.horizon is filled in
+  /// with Warmup() + Epochs().
+  Builder& Dynamics(DynamicsConfig config);
 
   // -------------------------------------------------------------- network
   Builder& LossModel(std::shared_ptr<td::LossModel> model);
@@ -215,6 +240,7 @@ class Experiment::Builder {
 
   td::Strategy strategy_ = td::Strategy::kTag;
   EngineOptions options_;
+  std::optional<DynamicsConfig> dynamics_;
 
   std::shared_ptr<td::LossModel> loss_;
   std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace td {
 
@@ -88,6 +89,39 @@ double TimeVaryingLoss::LossRate(NodeId src, NodeId dst,
     if (phases_[i].first <= epoch) idx = i;
   }
   return phases_[idx].second->LossRate(src, dst, epoch);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(Params params, uint64_t seed)
+    : params_(params), seed_(seed) {
+  params_.p_good_to_bad = ClampRate(params_.p_good_to_bad);
+  params_.p_bad_to_good = ClampRate(params_.p_bad_to_good);
+  params_.loss_good = ClampRate(params_.loss_good);
+  params_.loss_bad = ClampRate(params_.loss_bad);
+  double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  stationary_bad_ = denom > 0.0 ? params_.p_good_to_bad / denom : 0.0;
+}
+
+bool GilbertElliottLoss::InBadState(NodeId src, NodeId dst,
+                                    uint32_t epoch) const {
+  const uint64_t link = Hash64Triple(src, dst, seed_);
+  const uint32_t block = epoch / kRegenerationEpochs;
+  const uint32_t start = block * kRegenerationEpochs;
+  // Stationary redraw at the block boundary, then exact chain steps within
+  // the block; every draw is a pure hash of (link, time), so two queries of
+  // the same (link, epoch) -- from any thread -- agree.
+  bool bad =
+      HashToUnit(Hash64Pair(link, Hash64(block, 0x6e0b1057ULL))) <
+      stationary_bad_;
+  for (uint32_t e = start + 1; e <= epoch; ++e) {
+    double u = HashToUnit(Hash64Pair(link, Hash64(e, 0x57a7e57eULL)));
+    bad = bad ? (u >= params_.p_bad_to_good) : (u < params_.p_good_to_bad);
+  }
+  return bad;
+}
+
+double GilbertElliottLoss::LossRate(NodeId src, NodeId dst,
+                                    uint32_t epoch) const {
+  return InBadState(src, dst, epoch) ? params_.loss_bad : params_.loss_good;
 }
 
 MaxLoss::MaxLoss(std::shared_ptr<LossModel> a, std::shared_ptr<LossModel> b)

@@ -103,6 +103,50 @@ class TimeVaryingLoss : public LossModel {
   std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>> phases_;
 };
 
+/// Gilbert-Elliott bursty link loss: each directed link runs an independent
+/// two-state (good/bad) Markov chain over epochs, with a per-state loss
+/// rate. Bursts -- consecutive bad epochs with geometric sojourn time
+/// 1/p_bad_to_good -- model interference and fading far better than i.i.d.
+/// loss; a link that just dropped a message is likely to drop the next one.
+///
+/// Determinism and thread safety: LossRate must be a pure function (shared
+/// read-only across Monte Carlo trial threads), so the chain keeps no
+/// mutable state. Instead, time is divided into regeneration blocks of
+/// kRegenerationEpochs; at each block start the state is redrawn from the
+/// chain's stationary distribution via hashing, and within a block the
+/// chain advances with hash-derived transitions. Bursts shorter than the
+/// block length (the common case for the default parameters) are exact;
+/// only correlations across a block boundary are cut.
+class GilbertElliottLoss : public LossModel {
+ public:
+  struct Params {
+    /// Per-epoch transition probability good -> bad.
+    double p_good_to_bad = 0.02;
+    /// Per-epoch transition probability bad -> good (1/mean burst length).
+    double p_bad_to_good = 0.25;
+    /// Loss rate while the link is in the good state.
+    double loss_good = 0.05;
+    /// Loss rate while the link is in the bad state.
+    double loss_bad = 0.85;
+  };
+
+  static constexpr uint32_t kRegenerationEpochs = 64;
+
+  GilbertElliottLoss(Params params, uint64_t seed);
+
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+  /// The chain state driving LossRate; exposed for burstiness tests.
+  bool InBadState(NodeId src, NodeId dst, uint32_t epoch) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  uint64_t seed_;
+  double stationary_bad_;  // p_gb / (p_gb + p_bg)
+};
+
 /// Additive overlay: max of two models' rates (e.g. LabData link quality
 /// plus an injected Global(p) failure).
 class MaxLoss : public LossModel {

@@ -11,7 +11,8 @@ Network::Network(const Deployment* deployment,
       connectivity_(connectivity),
       loss_(std::move(loss)),
       rng_(seed),
-      node_energy_(deployment->size()) {
+      node_energy_(deployment->size()),
+      active_(deployment->size(), 1) {
   TD_CHECK(deployment_ != nullptr);
   TD_CHECK(connectivity_ != nullptr);
   TD_CHECK(loss_ != nullptr);
@@ -20,6 +21,7 @@ Network::Network(const Deployment* deployment,
 
 bool Network::Deliver(NodeId src, NodeId dst, uint32_t epoch) {
   TD_DCHECK(connectivity_->AreNeighbors(src, dst));
+  if (!(active_[src] & active_[dst])) return false;
   double p = loss_->LossRate(src, dst, epoch);
   return !rng_.Bernoulli(p);
 }
@@ -27,15 +29,29 @@ bool Network::Deliver(NodeId src, NodeId dst, uint32_t epoch) {
 bool Network::DeliverWithRetries(NodeId src, NodeId dst, uint32_t epoch,
                                  int extra_attempts, size_t bytes) {
   TD_CHECK_GE(extra_attempts, 0);
+  TD_DCHECK(connectivity_->AreNeighbors(src, dst));
+  if (!(active_[src] & active_[dst])) {
+    // The sender (if up) still burns energy trying; nothing is drawn.
+    for (int attempt = 0; attempt <= extra_attempts; ++attempt) {
+      CountTransmission(src, bytes);
+    }
+    return false;
+  }
+  // The loss rate is a pure function of (src, dst, epoch): hoist it out of
+  // the retry loop so stateless-but-computed models (Gilbert-Elliott's
+  // block walk) run once per message, not once per attempt. Draw sequence
+  // is unchanged: one Bernoulli per attempt, as before.
+  const double p = loss_->LossRate(src, dst, epoch);
   for (int attempt = 0; attempt <= extra_attempts; ++attempt) {
     CountTransmission(src, bytes);
-    if (Deliver(src, dst, epoch)) return true;
+    if (!rng_.Bernoulli(p)) return true;
   }
   return false;
 }
 
 void Network::CountTransmission(NodeId src, size_t bytes) {
   TD_CHECK_LT(src, node_energy_.size());
+  if (!active_[src]) return;  // a powered-down radio transmits nothing
   uint64_t packets = (bytes + kPacketBytes - 1) / kPacketBytes;
   if (packets == 0) packets = 1;  // even an empty message costs a packet
   EnergyStats delta;
@@ -49,6 +65,22 @@ void Network::CountTransmission(NodeId src, size_t bytes) {
 void Network::SetLossModel(std::shared_ptr<LossModel> loss) {
   TD_CHECK(loss != nullptr);
   loss_ = std::move(loss);
+}
+
+void Network::SetNodeActive(NodeId id, bool active) {
+  TD_CHECK_LT(id, active_.size());
+  active_[id] = active ? 1 : 0;
+}
+
+bool Network::node_active(NodeId id) const {
+  TD_CHECK_LT(id, active_.size());
+  return active_[id] != 0;
+}
+
+size_t Network::num_active() const {
+  size_t n = 0;
+  for (uint8_t a : active_) n += a;
+  return n;
 }
 
 const EnergyStats& Network::node_energy(NodeId id) const {

@@ -45,7 +45,8 @@ class Network {
           std::shared_ptr<LossModel> loss, uint64_t seed);
 
   /// One delivery trial for src->dst at `epoch`. Both must be neighbors.
-  /// Deterministic given (seed, call sequence).
+  /// Deterministic given (seed, call sequence). Always fails (without
+  /// drawing a loss trial) when either endpoint is inactive.
   bool Deliver(NodeId src, NodeId dst, uint32_t epoch);
 
   /// Delivery with up to `extra_attempts` retransmissions after a failure
@@ -67,6 +68,16 @@ class Network {
   /// Replaces the loss model (dynamic scenarios assembled incrementally).
   void SetLossModel(std::shared_ptr<LossModel> loss);
 
+  /// Powers a node down (dead or duty-cycle asleep) or back up. An inactive
+  /// node transmits nothing -- its sends fail and charge no energy -- and
+  /// hears nothing. All nodes start active; static scenarios never call
+  /// this, so their delivery draws (and rng stream) are unchanged.
+  void SetNodeActive(NodeId id, bool active);
+  bool node_active(NodeId id) const;
+
+  /// Count of currently active nodes (base station included).
+  size_t num_active() const;
+
   const EnergyStats& total_energy() const { return total_energy_; }
   const EnergyStats& node_energy(NodeId id) const;
 
@@ -83,6 +94,7 @@ class Network {
   Rng rng_;
   EnergyStats total_energy_;
   std::vector<EnergyStats> node_energy_;
+  std::vector<uint8_t> active_;
 };
 
 }  // namespace td

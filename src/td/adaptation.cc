@@ -93,16 +93,24 @@ bool OscillationDamper::ShrinkSuppressed(uint32_t epoch) const {
   return config_.damping && epoch < shrink_suppressed_until_;
 }
 
+void OscillationDamper::Reset() {
+  current_period_ = config_.period;
+  has_last_epoch_ = false;
+  last_action_ = AdaptAction::kNone;
+  shrink_suppressed_until_ = 0;
+}
+
 void OscillationDamper::Record(uint32_t epoch, AdaptAction action) {
   last_epoch_ = epoch;
   has_last_epoch_ = true;
   if (!config_.damping) return;
-  bool alternation =
-      (action == AdaptAction::kExpand && last_action_ == AdaptAction::kShrink) ||
-      (action == AdaptAction::kShrink && last_action_ == AdaptAction::kExpand);
+  bool alternation = (action == AdaptAction::kExpand &&
+                      last_action_ == AdaptAction::kShrink) ||
+                     (action == AdaptAction::kShrink &&
+                      last_action_ == AdaptAction::kExpand);
   if (alternation) {
-    current_period_ =
-        std::min(current_period_ * 2, config_.period * config_.max_period_scale);
+    current_period_ = std::min(current_period_ * 2,
+                               config_.period * config_.max_period_scale);
     // A shrink that immediately had to be undone (or vice versa) means the
     // delta sits at its operating point: hold it there for a while (but not
     // so long that a genuine improvement in network conditions is missed).

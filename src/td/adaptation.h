@@ -148,6 +148,12 @@ class OscillationDamper {
   /// suppression window; a repeated action or a no-op resets the period.
   void Record(uint32_t epoch, AdaptAction action);
 
+  /// Back to the configured period with no oscillation memory. Called when
+  /// the network is repaired after churn: the topology the oscillation was
+  /// observed on no longer exists, and the base station should be free to
+  /// re-adapt immediately rather than sit out a stretched period.
+  void Reset();
+
   uint32_t current_period() const { return current_period_; }
 
  private:

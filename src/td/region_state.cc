@@ -107,6 +107,39 @@ size_t RegionState::ShrinkAll() {
   return ms.size();
 }
 
+void RegionState::Resync() {
+  const NodeId root = tree_->root();
+  // The repaired tree must still satisfy the synchronization constraint;
+  // anything else means the repair path is broken, not the region.
+  for (NodeId v = 0; v < mode_.size(); ++v) {
+    if (v == root || !tree_->InTree(v)) continue;
+    NodeId p = tree_->parent(v);
+    TD_CHECK(p != kNoParent);
+    TD_CHECK_EQ(rings_->level(v), rings_->level(p) + 1);
+  }
+
+  mode_[root] = Mode::kMultipath;
+  for (NodeId v = 0; v < mode_.size(); ++v) {
+    if (v != root && !tree_->InTree(v)) mode_[v] = Mode::kTree;
+  }
+  // Crown fix, parents first: ring levels ascend exactly parent-to-child
+  // for in-tree nodes, so one sweep demotes every M vertex whose (possibly
+  // new) parent is T, and the demotions cascade to its children in turn.
+  for (int level = 1; level <= rings_->max_level(); ++level) {
+    for (NodeId v : rings_->NodesAtLevel(level)) {
+      if (!tree_->InTree(v)) continue;
+      if (IsM(v) && !IsM(tree_->parent(v))) mode_[v] = Mode::kTree;
+    }
+  }
+
+  delta_size_ = 0;
+  for (NodeId v = 0; v < mode_.size(); ++v) {
+    if (tree_->InTree(v) && IsM(v)) ++delta_size_;
+  }
+  num_active_ = tree_->num_in_tree();
+  TD_DCHECK(CheckInvariants());
+}
+
 bool RegionState::CheckInvariants() const {
   if (!IsM(tree_->root())) return false;
   size_t m_count = 0;

@@ -72,6 +72,14 @@ class RegionState {
   /// TD-Coarse shrink: every switchable M becomes T. Returns count.
   size_t ShrinkAll();
 
+  /// Re-synchronizes the labelling after the tree and rings were repaired
+  /// in place (churn). Surviving nodes keep their mode wherever the crown
+  /// invariant allows; nodes that left the tree revert to T, and any M
+  /// vertex orphaned under a T parent is demoted top-down so the delta
+  /// stays one connected crown. Re-checks the Section 4.1 constraint
+  /// against the repaired topology.
+  void Resync();
+
   /// Number of M vertices (the delta region size), base included.
   size_t delta_size() const { return delta_size_; }
 

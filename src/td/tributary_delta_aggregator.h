@@ -119,6 +119,27 @@ class TributaryDeltaAggregator {
     return out;
   }
 
+  /// Reacts to an in-place tree/rings repair (churn): re-derives the
+  /// subtree sizes the frontier "missing" reports divide over, resyncs the
+  /// region labelling to the surviving topology, re-bases the contributing
+  /// threshold on the live population, and resets the oscillation damper
+  /// and feedback medians -- observations from the pre-repair network
+  /// should neither delay nor bias the first post-repair decision. This is
+  /// what lets the delta shrink back after nodes rejoin instead of staying
+  /// saturated at the size the outage forced.
+  void OnTopologyChanged() {
+    subtree_size_ = tree_->ComputeSubtreeSizes();
+    region_.Resync();
+    if (options_.sensor_population == 0) {
+      size_t in_tree = tree_->num_in_tree();
+      population_ = in_tree > 1 ? in_tree - 1 : 1;
+    }
+    damper_.Reset();
+    pct_history_.clear();
+    pct_raw_history_.clear();
+    last_feedback_ = AdaptationFeedback{};
+  }
+
   RegionState& region() { return region_; }
   const RegionState& region() const { return region_; }
   const Stats& stats() const { return stats_; }
@@ -313,7 +334,8 @@ class TributaryDeltaAggregator {
       // subtree is unique (path correctness), so no double counting.
       uint64_t descendants = subtree_size_[v] - 1;
       uint64_t received = st->tree_count[v];
-      uint64_t own_missing = descendants > received ? descendants - received : 0;
+      uint64_t own_missing =
+          descendants > received ? descendants - received : 0;
       missing.AbsorbValue(own_missing);
       st->frontier_missing[v] = own_missing;
     }

@@ -7,7 +7,15 @@
 namespace td {
 
 Rings Rings::Build(const Connectivity& connectivity, NodeId base) {
+  return Build(connectivity, base,
+               std::vector<bool>(connectivity.num_nodes(), true));
+}
+
+Rings Rings::Build(const Connectivity& connectivity, NodeId base,
+                   const std::vector<bool>& active) {
   TD_CHECK_LT(base, connectivity.num_nodes());
+  TD_CHECK_EQ(active.size(), connectivity.num_nodes());
+  TD_CHECK(active[base]);
   Rings r;
   r.base_ = base;
   r.level_.assign(connectivity.num_nodes(), kUnreachable);
@@ -17,7 +25,7 @@ Rings Rings::Build(const Connectivity& connectivity, NodeId base) {
     NodeId v = queue.front();
     queue.pop_front();
     for (NodeId w : connectivity.Neighbors(v)) {
-      if (r.level_[w] == kUnreachable) {
+      if (r.level_[w] == kUnreachable && active[w]) {
         r.level_[w] = r.level_[v] + 1;
         queue.push_back(w);
       }
@@ -27,7 +35,9 @@ Rings Rings::Build(const Connectivity& connectivity, NodeId base) {
   for (int lv : r.level_) r.max_level_ = std::max(r.max_level_, lv);
   r.by_level_.assign(static_cast<size_t>(r.max_level_) + 1, {});
   for (NodeId id = 0; id < r.level_.size(); ++id) {
-    if (r.level_[id] >= 0) r.by_level_[static_cast<size_t>(r.level_[id])].push_back(id);
+    if (r.level_[id] >= 0) {
+      r.by_level_[static_cast<size_t>(r.level_[id])].push_back(id);
+    }
   }
   return r;
 }

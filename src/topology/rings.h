@@ -20,6 +20,14 @@ class Rings {
 
   static Rings Build(const Connectivity& connectivity, NodeId base);
 
+  /// Rings over the active subgraph only: inactive nodes join no ring
+  /// (level kUnreachable) and relay no BFS edges, so nodes whose every path
+  /// to the base runs through failed relays come out unreachable too. Used
+  /// by dynamic scenarios to re-level the network after churn. `active`
+  /// must have one entry per node; the base station must be active.
+  static Rings Build(const Connectivity& connectivity, NodeId base,
+                     const std::vector<bool>& active);
+
   /// Ring number; 0 is the base station itself.
   int level(NodeId id) const;
 

@@ -148,4 +148,63 @@ Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
   return BuildOptimizedTree(connectivity, rings, TreeBuildOptions{}, rng);
 }
 
+TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
+                            const Rings& rings,
+                            const std::vector<bool>& alive) {
+  TD_CHECK(tree != nullptr);
+  TD_CHECK_EQ(tree->num_nodes(), rings.num_nodes());
+  TD_CHECK_EQ(alive.size(), rings.num_nodes());
+  const NodeId root = tree->root();
+  TD_CHECK_EQ(root, rings.base());
+
+  TreeRepairResult result;
+
+  // Pass 1: drop everything that cannot stay -- dead nodes, and alive nodes
+  // with no path to the base over alive relays (ring level kUnreachable).
+  for (NodeId v = 0; v < tree->num_nodes(); ++v) {
+    if (v == root) continue;
+    if ((!alive[v] || rings.level(v) <= 0) && tree->InTree(v)) {
+      tree->RemoveFromTree(v);
+      ++result.detached;
+    }
+  }
+
+  // Pass 2: level-ascending parent fix. Parents live one ring closer to the
+  // base, so by the time level L is processed every valid candidate at
+  // level L-1 already has its final in-tree status -- each alive reachable
+  // node therefore ends the pass attached (its BFS predecessor is always a
+  // candidate).
+  for (int level = 1; level <= rings.max_level(); ++level) {
+    for (NodeId v : rings.NodesAtLevel(level)) {
+      if (!alive[v]) continue;  // kept out of by_level_ anyway; be explicit
+      NodeId p = tree->parent(v);
+      const bool parent_ok = p != kNoParent && tree->InTree(p) &&
+                             (p == root || alive[p]) &&
+                             rings.level(p) == level - 1;
+      if (parent_ok) continue;
+      NodeId best = kNoParent;
+      size_t best_children = 0;
+      for (NodeId w : rings.UpstreamNeighbors(connectivity, v)) {
+        if (!tree->InTree(w)) continue;
+        size_t c = tree->children(w).size();
+        if (best == kNoParent || c < best_children ||
+            (c == best_children && w < best)) {
+          best = w;
+          best_children = c;
+        }
+      }
+      if (best != kNoParent) {
+        tree->SetParent(v, best);
+        ++result.reattached;
+      } else if (tree->InTree(v)) {
+        // Cannot happen for a ring-reachable node (see above), but stay
+        // defensive: better a detached node than a dangling edge.
+        tree->RemoveFromTree(v);
+        ++result.detached;
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace td

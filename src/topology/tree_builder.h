@@ -54,6 +54,29 @@ Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
 Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
                         Rng* rng);
 
+/// Outcome of a RepairTree pass.
+struct TreeRepairResult {
+  /// Nodes attached or re-parented during the pass.
+  size_t reattached = 0;
+  /// Nodes dropped from the tree (dead, or unreachable over live relays).
+  size_t detached = 0;
+
+  bool changed() const { return reattached + detached > 0; }
+};
+
+/// Incremental repair after churn: given `rings` rebuilt over the `alive`
+/// subgraph, detaches dead and unreachable nodes and re-parents every alive
+/// reachable node whose current parent no longer works (dead, detached, or
+/// no longer one ring closer to the base), preserving the Section 4.1
+/// tree-links-subset-of-ring-links constraint throughout. Surviving
+/// subtrees keep their shape; only broken edges are rewired. Parent choice
+/// is deterministic (fewest children, then lowest id), so repairs are
+/// bit-reproducible. After the pass, a node is in the tree iff it is alive
+/// and ring-reachable.
+TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
+                            const Rings& rings,
+                            const std::vector<bool>& alive);
+
 }  // namespace td
 
 #endif  // TD_TOPOLOGY_TREE_BUILDER_H_

@@ -1,0 +1,317 @@
+#include "workload/dynamics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "topology/tree_builder.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace td {
+
+namespace {
+
+// Domain-separation salts so the churn stream is independent of the seed's
+// other users (message loss, tree construction).
+constexpr uint64_t kChurnSalt = 0xc4u;
+
+// Within an epoch, recoveries apply before outages: replaying the stream
+// then never overshoots the dead-count the churn generator capped against.
+int KindOrder(DynEventKind k) {
+  switch (k) {
+    case DynEventKind::kRejoin:
+      return 0;
+    case DynEventKind::kWake:
+      return 1;
+    case DynEventKind::kFail:
+      return 2;
+    case DynEventKind::kSleep:
+      return 3;
+    case DynEventKind::kSetLoss:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+DynamicScenario::DynamicScenario(Scenario* scenario, DynamicsConfig config,
+                                 uint64_t stream_seed)
+    : scenario_(scenario), config_(std::move(config)) {
+  TD_CHECK(scenario != nullptr);
+  TD_CHECK_GT(config_.horizon, 0u);
+  const size_t n = scenario_->deployment.size();
+  dead_.assign(n, false);
+  asleep_.assign(n, false);
+  dead_toggles_.assign(n, {});
+  asleep_toggles_.assign(n, {});
+
+  if (config_.churn) {
+    GenerateChurn(Hash64(stream_seed, Hash64(config_.seed, kChurnSalt)));
+  }
+  if (config_.duty_cycle) GenerateDutyCycle();
+  GenerateLossSchedule();
+
+  // One global order: all of an epoch's activity flips apply before its
+  // loss swap, and ties break deterministically.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const DynEvent& a, const DynEvent& b) {
+                     return std::make_tuple(a.epoch, KindOrder(a.kind),
+                                            a.node) <
+                            std::make_tuple(b.epoch, KindOrder(b.kind),
+                                            b.node);
+                   });
+
+  for (const DynEvent& ev : events_) {
+    switch (ev.kind) {
+      case DynEventKind::kFail:
+      case DynEventKind::kRejoin:
+        dead_toggles_[ev.node].push_back(ev.epoch);
+        break;
+      case DynEventKind::kSleep:
+      case DynEventKind::kWake:
+        asleep_toggles_[ev.node].push_back(ev.epoch);
+        break;
+      case DynEventKind::kSetLoss:
+        break;
+    }
+  }
+}
+
+void DynamicScenario::GenerateChurn(uint64_t seed) {
+  const ChurnConfig& churn = *config_.churn;
+  TD_CHECK_GT(churn.mean_downtime, 0.0);
+  TD_CHECK_GE(churn.fail_rate, 0.0);
+  Rng rng(seed);
+  const size_t n = scenario_->deployment.size();
+  const NodeId base = scenario_->base();
+  const size_t sensors = n - 1;
+  const double rejoin_p = std::clamp(1.0 / churn.mean_downtime, 1e-9, 1.0);
+
+  std::vector<bool> down(n, false);
+  std::vector<uint32_t> rejoin_at(n, UINT32_MAX);
+  size_t dead_count = 0;
+
+  // Epoch-major, node-minor: the draw sequence (and so the stream) is a
+  // pure function of the seed and config, never of who asks when.
+  for (uint32_t e = 0; e < config_.horizon; ++e) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == base) continue;
+      if (down[v]) {
+        if (rejoin_at[v] == e) {
+          down[v] = false;
+          --dead_count;
+          events_.push_back({e, DynEventKind::kRejoin, v, 0.0});
+        }
+        continue;
+      }
+      const bool capped = static_cast<double>(dead_count) >=
+                          churn.max_dead_fraction *
+                              static_cast<double>(sensors);
+      if (!capped && rng.Bernoulli(churn.fail_rate)) {
+        down[v] = true;
+        ++dead_count;
+        events_.push_back({e, DynEventKind::kFail, v, 0.0});
+        const uint64_t downtime = 1 + rng.Geometric(rejoin_p);
+        if (downtime < config_.horizon - e) {
+          rejoin_at[v] = e + static_cast<uint32_t>(downtime);
+        }  // else: down past the horizon; no rejoin event
+      }
+    }
+  }
+}
+
+void DynamicScenario::GenerateDutyCycle() {
+  const DutyCycleConfig& duty = *config_.duty_cycle;
+  TD_CHECK_GT(duty.groups, 0u);
+  TD_CHECK_GE(duty.period, duty.groups);
+  const uint32_t stagger = duty.period / duty.groups;
+  // No window may wrap its period (the last group's window must end by the
+  // cycle boundary), which keeps sleep/wake events strictly alternating.
+  TD_CHECK_LE(duty.sleep_epochs, stagger);
+  if (duty.sleep_epochs == 0) return;
+
+  const NodeId base = scenario_->base();
+  for (NodeId v = 0; v < scenario_->deployment.size(); ++v) {
+    if (v == base) continue;
+    // Hash-staggered cohorts: sleepers are spread evenly across every
+    // radio neighborhood (grouping by ring level instead would put whole
+    // rings to sleep at once and black out the entire network -- no
+    // strategy can aggregate through a missing ring).
+    const uint32_t offset =
+        static_cast<uint32_t>(Hash64(v, config_.seed) % duty.groups) *
+        stagger;
+    for (uint32_t cycle_start = 0; cycle_start < config_.horizon;
+         cycle_start += duty.period) {
+      const uint32_t sleep_at = cycle_start + offset;
+      if (sleep_at >= config_.horizon) break;
+      events_.push_back({sleep_at, DynEventKind::kSleep, v, 0.0});
+      const uint32_t wake_at = sleep_at + duty.sleep_epochs;
+      if (wake_at < config_.horizon) {
+        events_.push_back({wake_at, DynEventKind::kWake, v, 0.0});
+      }
+    }
+  }
+}
+
+void DynamicScenario::GenerateLossSchedule() {
+  for (size_t i = 0; i < config_.loss_schedule.size(); ++i) {
+    const LossPhase& phase = config_.loss_schedule[i];
+    if (i > 0) {
+      TD_CHECK_LT(config_.loss_schedule[i - 1].start_epoch,
+                  phase.start_epoch);
+    }
+    if (phase.start_epoch >= config_.horizon) continue;
+    events_.push_back(
+        {phase.start_epoch, DynEventKind::kSetLoss, 0, phase.rate});
+  }
+}
+
+void DynamicScenario::SetBaseLoss(std::shared_ptr<LossModel> base_loss) {
+  TD_CHECK(base_loss != nullptr);
+  base_loss_ = std::move(base_loss);
+}
+
+void DynamicScenario::ApplyActivity(NodeId node, Network* network) const {
+  network->SetNodeActive(node, !dead_[node] && !asleep_[node]);
+}
+
+EpochDynamics DynamicScenario::Advance(uint32_t epoch, Network* network) {
+  TD_CHECK(network != nullptr);
+  EpochDynamics out;
+  bool churned = false;
+  while (cursor_ < events_.size() && events_[cursor_].epoch <= epoch) {
+    const DynEvent& ev = events_[cursor_++];
+    switch (ev.kind) {
+      case DynEventKind::kFail:
+        dead_[ev.node] = true;
+        ApplyActivity(ev.node, network);
+        churned = true;
+        break;
+      case DynEventKind::kRejoin:
+        dead_[ev.node] = false;
+        ApplyActivity(ev.node, network);
+        churned = true;
+        break;
+      case DynEventKind::kSleep:
+        asleep_[ev.node] = true;
+        ApplyActivity(ev.node, network);
+        break;
+      case DynEventKind::kWake:
+        asleep_[ev.node] = false;
+        ApplyActivity(ev.node, network);
+        break;
+      case DynEventKind::kSetLoss: {
+        TD_CHECK(base_loss_ != nullptr);
+        network->SetLossModel(std::make_shared<MaxLoss>(
+            base_loss_, std::make_shared<GlobalLoss>(ev.loss_rate)));
+        out.loss_changed = true;
+        break;
+      }
+    }
+  }
+  if (churned) {
+    std::vector<bool> alive(dead_.size());
+    for (size_t i = 0; i < dead_.size(); ++i) alive[i] = !dead_[i];
+    scenario_->rings =
+        Rings::Build(scenario_->connectivity, scenario_->base(), alive);
+    TreeRepairResult repair = RepairTree(
+        &scenario_->tree, scenario_->connectivity, scenario_->rings, alive);
+    out.topology_changed = true;
+    out.reattached = repair.reattached;
+    out.detached = repair.detached;
+    ++repairs_;
+    // The base station directs the repair: one control broadcast plus a
+    // short per-rewire command, charged like adaptation switch commands
+    // (control delivery assumed reliable -- see DESIGN.md).
+    network->CountTransmission(scenario_->base(), 8 + 2 * repair.reattached);
+  }
+  return out;
+}
+
+bool DynamicScenario::IsNodeUp(NodeId node, uint32_t epoch) const {
+  TD_CHECK_LT(node, dead_toggles_.size());
+  auto down = [epoch](const std::vector<uint32_t>& toggles) {
+    const size_t flips =
+        std::upper_bound(toggles.begin(), toggles.end(), epoch) -
+        toggles.begin();
+    return (flips & 1) != 0;
+  };
+  return !down(dead_toggles_[node]) && !down(asleep_toggles_[node]);
+}
+
+size_t DynamicScenario::ActiveSensorCount(uint32_t epoch) const {
+  size_t up = 0;
+  const NodeId base = scenario_->base();
+  for (NodeId v = 0; v < dead_toggles_.size(); ++v) {
+    if (v != base && IsNodeUp(v, epoch)) ++up;
+  }
+  return up;
+}
+
+const std::vector<DynamicsPreset>& DynamicsPresets() {
+  static const std::vector<DynamicsPreset>* presets = [] {
+    auto* p = new std::vector<DynamicsPreset>();
+    {
+      DynamicsConfig c;
+      c.churn = ChurnConfig{
+          .fail_rate = 0.004, .mean_downtime = 30.0, .max_dead_fraction = 0.3};
+      p->push_back({"churn",
+                    "node fail/rejoin with base-directed tree+ring repair",
+                    0.05, c});
+    }
+    {
+      DynamicsConfig c;
+      c.bursty = GilbertElliottLoss::Params{.p_good_to_bad = 0.03,
+                                            .p_bad_to_good = 0.25,
+                                            .loss_good = 0.05,
+                                            .loss_bad = 0.9};
+      p->push_back(
+          {"bursty", "Gilbert-Elliott bursty link loss", 0.0, c});
+    }
+    {
+      DynamicsConfig c;
+      c.duty_cycle =
+          DutyCycleConfig{.groups = 4, .period = 40, .sleep_epochs = 8};
+      p->push_back({"dutycycle",
+                    "rotating sleep-cohort waves (duty cycling)", 0.05, c});
+    }
+    {
+      DynamicsConfig c;
+      // Phases sit inside bench_dynamics' default horizon (140 epochs) so
+      // the standard sweep exercises every switch, not just the first.
+      c.loss_schedule = {{0, 0.05}, {40, 0.35}, {80, 0.15}, {110, 0.45}};
+      p->push_back({"losswave",
+                    "base-station-directed epoch-varying loss sweep", 0.0,
+                    c});
+    }
+    {
+      DynamicsConfig c;
+      c.churn = ChurnConfig{.fail_rate = 0.002,
+                            .mean_downtime = 25.0,
+                            .max_dead_fraction = 0.25};
+      c.bursty = GilbertElliottLoss::Params{.p_good_to_bad = 0.02,
+                                            .p_bad_to_good = 0.3,
+                                            .loss_good = 0.03,
+                                            .loss_bad = 0.8};
+      c.duty_cycle =
+          DutyCycleConfig{.groups = 5, .period = 50, .sleep_epochs = 6};
+      c.loss_schedule = {{0, 0.02}, {70, 0.2}};
+      p->push_back({"storm",
+                    "churn + bursty loss + duty cycling + loss sweep", 0.0,
+                    c});
+    }
+    return p;
+  }();
+  return *presets;
+}
+
+const DynamicsPreset* FindDynamicsPreset(std::string_view name) {
+  for (const DynamicsPreset& preset : DynamicsPresets()) {
+    if (name == preset.name) return &preset;
+  }
+  return nullptr;
+}
+
+}  // namespace td

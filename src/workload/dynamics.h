@@ -1,0 +1,189 @@
+// Dynamic-network scenarios: evolving a Scenario across epochs.
+//
+// Every scenario the figure benches run is static -- fixed topology,
+// stationary per-link loss, all nodes always awake -- yet the paper's
+// headline claim is robustness under degradation. A DynamicScenario layers
+// composable event processes over a (mutable) Scenario:
+//
+//   * churn       -- nodes fail and later rejoin; after every membership
+//                    change the base station re-levels the rings over the
+//                    surviving subgraph and repairs the tree through
+//                    topology/tree_builder (RepairTree), preserving the
+//                    Section 4.1 synchronization constraint so TD keeps
+//                    switching modes without re-synchronizing epochs;
+//   * bursty loss -- a Gilbert-Elliott two-state chain per directed link
+//                    (net/loss_model), composed onto the static model;
+//   * duty cycle  -- scheduled sleep waves: hash-staggered cohorts power
+//                    down in rotating windows each period (sleepers keep
+//                    their tree/ring slots; only their radios go quiet);
+//   * loss sweeps -- base-station-directed epoch-varying Global(p) phases,
+//                    the Figure 6 timeline generalized to a schedule.
+//
+// The full event stream is precomputed at construction from one seed, so a
+// trial's dynamics are a pure function of (trial seed, config): Monte Carlo
+// sweeps stay bit-identical for any thread count, and the pure queries
+// (IsNodeUp, ActiveSensorCount) can serve ground truth after the run.
+#ifndef TD_WORKLOAD_DYNAMICS_H_
+#define TD_WORKLOAD_DYNAMICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "net/network.h"
+#include "workload/scenario.h"
+
+namespace td {
+
+/// Node fail/rejoin process: per epoch, each live sensor fails with
+/// probability `fail_rate`; a failed node stays down for a geometric
+/// downtime with mean `mean_downtime` epochs. The base station never fails.
+struct ChurnConfig {
+  double fail_rate = 0.002;
+  double mean_downtime = 40.0;
+  /// Failures are suppressed while at least this fraction of sensors is
+  /// already dead (keeps pathological seeds from depopulating the field).
+  double max_dead_fraction = 0.3;
+};
+
+/// Scheduled sleep waves: sensors are hashed into `groups` cohorts, and
+/// cohort g sleeps during epochs
+/// [g * period / groups, g * period / groups + sleep_epochs) of every
+/// period. Hash grouping spreads the sleepers evenly across every radio
+/// neighborhood, so at any instant ~sleep_epochs/period of each node's
+/// neighbors are dark but the field as a whole stays routable.
+struct DutyCycleConfig {
+  uint32_t groups = 4;
+  uint32_t period = 40;
+  uint32_t sleep_epochs = 8;
+};
+
+/// One phase of a base-station-directed loss sweep: from `start_epoch` on,
+/// a Global(rate) model is overlaid (MaxLoss) onto the scenario's base
+/// loss model.
+struct LossPhase {
+  uint32_t start_epoch = 0;
+  double rate = 0.0;
+};
+
+/// The composable recipe. Every process is optional; an empty config is a
+/// static scenario.
+struct DynamicsConfig {
+  std::optional<ChurnConfig> churn;
+  std::optional<GilbertElliottLoss::Params> bursty;
+  std::optional<DutyCycleConfig> duty_cycle;
+  /// Must be sorted by start_epoch.
+  std::vector<LossPhase> loss_schedule;
+
+  /// Mixed into the stream seed (itself derived from the trial's network
+  /// seed), separating dynamics randomness from message-loss randomness.
+  uint64_t seed = 0xd15ea5edULL;
+
+  /// Epochs the event stream covers; Experiment::Builder fills in
+  /// warmup + epochs when left 0.
+  uint32_t horizon = 0;
+};
+
+enum class DynEventKind : uint8_t { kFail, kRejoin, kSleep, kWake, kSetLoss };
+
+struct DynEvent {
+  uint32_t epoch = 0;
+  DynEventKind kind = DynEventKind::kFail;
+  NodeId node = 0;
+  double loss_rate = 0.0;  // kSetLoss only
+
+  bool operator==(const DynEvent&) const = default;
+};
+
+/// What Advance did at one epoch; the caller forwards topology changes to
+/// its engine (Engine::OnTopologyChanged).
+struct EpochDynamics {
+  bool topology_changed = false;
+  bool loss_changed = false;
+  size_t reattached = 0;
+  size_t detached = 0;
+};
+
+/// Owns the event stream and drives a mutable Scenario + Network through
+/// it. The scenario must outlive this object; its `tree` and `rings`
+/// members are repaired in place (engines hold pointers to them, which
+/// stay valid because the members are assigned, never reseated).
+class DynamicScenario {
+ public:
+  /// Precomputes the full event stream from Rng(stream_seed ^ config.seed
+  /// mixing). Requires config.horizon > 0.
+  DynamicScenario(Scenario* scenario, DynamicsConfig config,
+                  uint64_t stream_seed);
+
+  /// The loss model loss-sweep phases overlay onto (the model the network
+  /// was built with). Must be set before the first kSetLoss event fires.
+  void SetBaseLoss(std::shared_ptr<LossModel> base_loss);
+
+  /// Applies every event scheduled at or before `epoch` that has not been
+  /// applied yet (epochs are normally visited in order) to the scenario
+  /// and `network`: activity flips, topology repair after churn, loss
+  /// overlay swaps. Repair control traffic is charged to the base station.
+  EpochDynamics Advance(uint32_t epoch, Network* network);
+
+  // ---- pure queries over the precomputed stream (order-independent) ----
+
+  /// Alive and awake at `epoch` (after that epoch's events applied).
+  bool IsNodeUp(NodeId node, uint32_t epoch) const;
+
+  /// Sensors (non-base nodes) up at `epoch`.
+  size_t ActiveSensorCount(uint32_t epoch) const;
+
+  const std::vector<DynEvent>& events() const { return events_; }
+  const DynamicsConfig& config() const { return config_; }
+  Scenario* scenario() { return scenario_; }
+
+  /// Repair passes run so far (Advance calls that changed topology).
+  size_t repairs() const { return repairs_; }
+
+ private:
+  void GenerateChurn(uint64_t seed);
+  void GenerateDutyCycle();
+  void GenerateLossSchedule();
+  void ApplyActivity(NodeId node, Network* network) const;
+
+  Scenario* scenario_;
+  DynamicsConfig config_;
+  std::shared_ptr<LossModel> base_loss_;
+
+  std::vector<DynEvent> events_;  // sorted by (epoch, kind, node)
+  size_t cursor_ = 0;
+  size_t repairs_ = 0;
+
+  // Live state mirrors (index by node id).
+  std::vector<bool> dead_;
+  std::vector<bool> asleep_;
+
+  // Per-node sorted toggle epochs backing the pure queries: dead (asleep)
+  // state at e == odd number of entries <= e.
+  std::vector<std::vector<uint32_t>> dead_toggles_;
+  std::vector<std::vector<uint32_t>> asleep_toggles_;
+};
+
+/// A named, self-describing dynamics recipe for benches and tests.
+struct DynamicsPreset {
+  const char* name;
+  const char* description;
+  /// Stationary loss the preset assumes underneath its dynamics
+  /// (Experiment::Builder::GlobalLossRate).
+  double base_loss;
+  DynamicsConfig config;
+};
+
+/// The registry bench_dynamics sweeps: churn, bursty, dutycycle, losswave,
+/// and the everything-at-once storm.
+const std::vector<DynamicsPreset>& DynamicsPresets();
+
+/// Lookup by name; nullptr when unknown.
+const DynamicsPreset* FindDynamicsPreset(std::string_view name);
+
+}  // namespace td
+
+#endif  // TD_WORKLOAD_DYNAMICS_H_

@@ -1,0 +1,359 @@
+// Tests for the dynamic-network scenario subsystem (workload/dynamics):
+// event-stream determinism, churn repair invariants (tree stays connected
+// and ring-consistent, region crown survives), duty-cycle schedules,
+// Gilbert-Elliott burstiness, and bit-identical Monte Carlo sweeps across
+// thread counts for all five strategies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "net/loss_model.h"
+#include "net/network.h"
+#include "td/region_state.h"
+#include "topology/tree_builder.h"
+#include "util/hash.h"
+#include "workload/dynamics.h"
+#include "workload/scenario.h"
+
+namespace td {
+namespace {
+
+DynamicsConfig ChurnyConfig(uint32_t horizon) {
+  DynamicsConfig config;
+  config.churn = ChurnConfig{
+      .fail_rate = 0.02, .mean_downtime = 10.0, .max_dead_fraction = 0.5};
+  config.horizon = horizon;
+  return config;
+}
+
+// ------------------------------------------------------ event stream -----
+
+TEST(DynamicsTest, SameSeedSameEventStream) {
+  Scenario a = MakeSyntheticScenario(7, 120);
+  Scenario b = MakeSyntheticScenario(7, 120);
+  DynamicsConfig config = ChurnyConfig(80);
+  config.duty_cycle =
+      DutyCycleConfig{.groups = 4, .period = 20, .sleep_epochs = 4};
+  config.loss_schedule = {{0, 0.1}, {40, 0.3}};
+  DynamicScenario da(&a, config, /*stream_seed=*/99);
+  DynamicScenario db(&b, config, /*stream_seed=*/99);
+  ASSERT_FALSE(da.events().empty());
+  EXPECT_EQ(da.events(), db.events());
+}
+
+TEST(DynamicsTest, DifferentSeedDifferentChurn) {
+  Scenario a = MakeSyntheticScenario(7, 120);
+  Scenario b = MakeSyntheticScenario(7, 120);
+  DynamicScenario da(&a, ChurnyConfig(80), 1);
+  DynamicScenario db(&b, ChurnyConfig(80), 2);
+  EXPECT_NE(da.events(), db.events());
+}
+
+TEST(DynamicsTest, ChurnEventsAlternateAndRespectCap) {
+  Scenario sc = MakeSyntheticScenario(11, 150);
+  DynamicsConfig config;
+  config.churn = ChurnConfig{
+      .fail_rate = 0.05, .mean_downtime = 15.0, .max_dead_fraction = 0.2};
+  config.horizon = 120;
+  DynamicScenario dyn(&sc, config, 5);
+
+  // Per node: strictly alternating fail / rejoin, in epoch order.
+  std::vector<int> state(sc.deployment.size(), 0);
+  size_t dead = 0;
+  size_t max_dead = 0;
+  uint32_t epoch = 0;
+  for (const DynEvent& ev : dyn.events()) {
+    ASSERT_GE(ev.epoch, epoch);
+    epoch = ev.epoch;
+    ASSERT_NE(ev.node, sc.base());
+    if (ev.kind == DynEventKind::kFail) {
+      ASSERT_EQ(state[ev.node], 0);
+      state[ev.node] = 1;
+      ++dead;
+    } else {
+      ASSERT_EQ(ev.kind, DynEventKind::kRejoin);
+      ASSERT_EQ(state[ev.node], 1);
+      state[ev.node] = 0;
+      --dead;
+    }
+    max_dead = std::max(max_dead, dead);
+  }
+  ASSERT_FALSE(dyn.events().empty());
+  // The cap check runs against the live dead count before every draw, so
+  // the dead population can overshoot 0.2 * 149 by at most one node.
+  EXPECT_LE(max_dead, static_cast<size_t>(0.2 * 149.0) + 1);
+}
+
+TEST(DynamicsTest, DutyCycleWavesMatchPureQueries) {
+  Scenario sc = MakeSyntheticScenario(13, 120);
+  DynamicsConfig config;
+  config.duty_cycle =
+      DutyCycleConfig{.groups = 4, .period = 20, .sleep_epochs = 5};
+  config.horizon = 60;
+  DynamicScenario dyn(&sc, config, 3);
+
+  // Every sensor sleeps exactly sleep_epochs out of every period, in the
+  // window its hash cohort selects.
+  for (NodeId v = 1; v < sc.deployment.size(); ++v) {
+    const uint32_t offset =
+        static_cast<uint32_t>(Hash64(v, config.seed) % 4) * 5;
+    for (uint32_t e = 0; e < 60; ++e) {
+      const bool in_window = e % 20 >= offset && e % 20 < offset + 5;
+      EXPECT_EQ(dyn.IsNodeUp(v, e), !in_window)
+          << "node " << v << " epoch " << e;
+    }
+  }
+  // The rotation leaves most of the field awake at any epoch, and always
+  // has someone asleep (5 of every 20 epochs per cohort).
+  for (uint32_t e = 0; e < 60; ++e) {
+    EXPECT_LT(dyn.ActiveSensorCount(e), sc.num_sensors());
+    EXPECT_GT(dyn.ActiveSensorCount(e), sc.num_sensors() / 2);
+  }
+}
+
+// ---------------------------------------------------- network activity ---
+
+TEST(DynamicsTest, InactiveNodeNeitherDeliversNorCharges) {
+  Scenario sc = MakeSyntheticScenario(17, 60);
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.0), 1);
+  // Pick any connected pair.
+  NodeId a = sc.rings.NodesAtLevel(1).front();
+  EXPECT_TRUE(net.Deliver(a, sc.base(), 0));
+
+  net.SetNodeActive(a, false);
+  EXPECT_FALSE(net.node_active(a));
+  EXPECT_EQ(net.num_active(), sc.deployment.size() - 1);
+  EXPECT_FALSE(net.Deliver(a, sc.base(), 0));       // sender down
+  EXPECT_FALSE(net.Deliver(sc.base(), a, 0));       // receiver down
+  uint64_t before = net.total_energy().transmissions;
+  net.CountTransmission(a, 48);
+  EXPECT_FALSE(net.DeliverWithRetries(a, sc.base(), 0, 2, 48));
+  EXPECT_EQ(net.total_energy().transmissions, before);
+
+  net.SetNodeActive(a, true);
+  EXPECT_TRUE(net.Deliver(a, sc.base(), 0));
+  net.CountTransmission(a, 48);
+  EXPECT_EQ(net.total_energy().transmissions, before + 1);
+}
+
+// ------------------------------------------------------ churn repair -----
+
+// Walks every in-tree node's parent chain; true when all chains reach the
+// root within num_nodes steps (connected, acyclic).
+bool TreeConnected(const Tree& tree) {
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    if (!tree.InTree(v)) continue;
+    NodeId w = v;
+    size_t steps = 0;
+    while (w != tree.root()) {
+      w = tree.parent(w);
+      if (w == kNoParent || ++steps > tree.num_nodes()) return false;
+    }
+  }
+  return true;
+}
+
+TEST(DynamicsTest, ChurnRepairKeepsTreeAndRingsConsistent) {
+  Scenario sc = MakeSyntheticScenario(19, 200);
+  DynamicsConfig config = ChurnyConfig(100);
+  DynamicScenario dyn(&sc, config, 21);
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.1), 2);
+
+  RegionState region(&sc.tree, &sc.rings);
+  region.ExpandAll();  // non-trivial delta so Resync has work to do
+
+  size_t repairs = 0;
+  for (uint32_t e = 0; e < 100; ++e) {
+    EpochDynamics d = dyn.Advance(e, &net);
+    if (!d.topology_changed) continue;
+    ++repairs;
+    region.Resync();
+
+    // Tree invariants: connected, edges are links, ring-synchronized.
+    ASSERT_TRUE(TreeConnected(sc.tree));
+    ASSERT_TRUE(sc.tree.EdgesSubsetOf(sc.connectivity));
+    for (NodeId v = 0; v < sc.tree.num_nodes(); ++v) {
+      if (v == sc.tree.root() || !sc.tree.InTree(v)) continue;
+      ASSERT_EQ(sc.rings.level(v), sc.rings.level(sc.tree.parent(v)) + 1);
+    }
+    // Membership: in the tree exactly when ring-reachable over alive
+    // relays (dead and cut-off nodes are in no ring and no tree).
+    for (NodeId v = 0; v < sc.tree.num_nodes(); ++v) {
+      if (v == sc.tree.root()) continue;
+      ASSERT_EQ(sc.tree.InTree(v), sc.rings.level(v) > 0);
+    }
+    // Rings: level sets agree with the level() map.
+    for (int lv = 0; lv <= sc.rings.max_level(); ++lv) {
+      for (NodeId v : sc.rings.NodesAtLevel(lv)) {
+        ASSERT_EQ(sc.rings.level(v), lv);
+      }
+    }
+    // Region crown invariant survives every repair.
+    ASSERT_TRUE(region.CheckInvariants());
+  }
+  EXPECT_GT(repairs, 0u);
+  EXPECT_EQ(repairs, dyn.repairs());
+}
+
+TEST(DynamicsTest, RepairReattachesRejoinedNodes) {
+  Scenario sc = MakeSyntheticScenario(23, 150);
+  DynamicsConfig config;
+  config.churn = ChurnConfig{
+      .fail_rate = 0.03, .mean_downtime = 5.0, .max_dead_fraction = 0.5};
+  config.horizon = 100;
+  DynamicScenario dyn(&sc, config, 8);
+  Network net(&sc.deployment, &sc.connectivity,
+              std::make_shared<GlobalLoss>(0.0), 2);
+  for (uint32_t e = 0; e < 100; ++e) dyn.Advance(e, &net);
+  // After the last event, every currently-alive reachable node is back in
+  // the tree.
+  for (NodeId v = 1; v < sc.deployment.size(); ++v) {
+    if (sc.rings.level(v) > 0) EXPECT_TRUE(sc.tree.InTree(v));
+  }
+}
+
+// -------------------------------------------------- Gilbert-Elliott ------
+
+TEST(DynamicsTest, GilbertElliottDeterministicAndBursty) {
+  GilbertElliottLoss::Params params{.p_good_to_bad = 0.05,
+                                    .p_bad_to_good = 0.2,
+                                    .loss_good = 0.02,
+                                    .loss_bad = 0.9};
+  GilbertElliottLoss ge(params, 77);
+  GilbertElliottLoss ge2(params, 77);
+
+  size_t bad_epochs = 0;
+  size_t bursts = 0;
+  const uint32_t kEpochs = 4000;
+  bool prev_bad = false;
+  for (uint32_t e = 0; e < kEpochs; ++e) {
+    const bool bad = ge.InBadState(3, 4, e);
+    EXPECT_EQ(bad, ge2.InBadState(3, 4, e));  // pure + deterministic
+    EXPECT_EQ(bad, ge.InBadState(3, 4, e));   // stateless re-query
+    EXPECT_DOUBLE_EQ(ge.LossRate(3, 4, e), bad ? 0.9 : 0.02);
+    if (bad && !prev_bad) ++bursts;
+    if (bad) ++bad_epochs;
+    prev_bad = bad;
+  }
+  // Stationary occupancy p_gb/(p_gb+p_bg) = 0.2 of the time, in bursts of
+  // mean length 1/p_bg = 5 -- allow generous slack, the point is shape.
+  EXPECT_GT(bad_epochs, kEpochs / 10);
+  EXPECT_LT(bad_epochs, kEpochs / 2);
+  ASSERT_GT(bursts, 0u);
+  const double mean_burst =
+      static_cast<double>(bad_epochs) / static_cast<double>(bursts);
+  EXPECT_GT(mean_burst, 2.0);  // far from i.i.d. (mean run length ~1)
+
+  // Different links get different chains.
+  size_t diff = 0;
+  for (uint32_t e = 0; e < 200; ++e) {
+    if (ge.InBadState(3, 4, e) != ge.InBadState(4, 3, e)) ++diff;
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+// ------------------------------------------- facade + thread identity ----
+
+TEST(DynamicsTest, PresetRegistryLookup) {
+  EXPECT_GE(DynamicsPresets().size(), 5u);
+  ASSERT_NE(FindDynamicsPreset("churn"), nullptr);
+  ASSERT_NE(FindDynamicsPreset("bursty"), nullptr);
+  ASSERT_NE(FindDynamicsPreset("dutycycle"), nullptr);
+  ASSERT_NE(FindDynamicsPreset("losswave"), nullptr);
+  ASSERT_NE(FindDynamicsPreset("storm"), nullptr);
+  EXPECT_EQ(FindDynamicsPreset("nope"), nullptr);
+  std::set<std::string> names;
+  for (const DynamicsPreset& p : DynamicsPresets()) names.insert(p.name);
+  EXPECT_EQ(names.size(), DynamicsPresets().size());
+}
+
+TEST(DynamicsTest, DynamicTruthTracksActiveSensors) {
+  DynamicsConfig config;
+  config.duty_cycle =
+      DutyCycleConfig{.groups = 2, .period = 20, .sleep_epochs = 10};
+  RunResult r = Experiment::Builder()
+                    .Synthetic(3, 100)
+                    .Aggregate(AggregateKind::kCount)
+                    .Strategy(Strategy::kSynopsisDiffusion)
+                    .Dynamics(config)
+                    .Epochs(40)
+                    .Run();
+  ASSERT_EQ(r.truths.size(), 40u);
+  // With half the field asleep at all times, truth sits well below the
+  // population and moves with the wave.
+  const double full = *std::max_element(r.truths.begin(), r.truths.end());
+  const double low = *std::min_element(r.truths.begin(), r.truths.end());
+  EXPECT_LT(full, 100.0);
+  EXPECT_LT(low, full);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(DynamicsTest, TdAdaptsUnderChurn) {
+  DynamicsConfig config = ChurnyConfig(0);  // horizon filled by builder
+  RunResult r = Experiment::Builder()
+                    .Synthetic(5, 200)
+                    .Aggregate(AggregateKind::kCount)
+                    .Strategy(Strategy::kTributaryDelta)
+                    .GlobalLossRate(0.15)
+                    .Dynamics(config)
+                    .AdaptPeriod(5)
+                    .Warmup(20)
+                    .Epochs(120)
+                    .Run();
+  EXPECT_GT(r.topology_repairs, 0u);
+  EXPECT_GT(r.stats.decisions, 0u);
+  EXPECT_GT(r.stats.expansions, 0u);
+  // Bounded error: adaptation keeps the answer in the right ballpark even
+  // while the topology is being repaired under it.
+  EXPECT_LT(r.rms, 1.0);
+}
+
+TEST(DynamicsTest, SweepBitIdenticalAcrossThreadCounts) {
+  const DynamicsPreset* preset = FindDynamicsPreset("storm");
+  ASSERT_NE(preset, nullptr);
+  for (Strategy s : kAllStrategies) {
+    DynamicsConfig config = preset->config;
+    auto sweep = [&](unsigned threads) {
+      return Experiment::Builder()
+          .Synthetic(9, 120)
+          .Aggregate(AggregateKind::kCount)
+          .Strategy(s)
+          .GlobalLossRate(preset->base_loss)
+          .Dynamics(config)
+          .NetworkSeed(0x7e57)
+          .Warmup(10)
+          .Epochs(40)
+          .Trials(4)
+          .Threads(threads)
+          .RunTrials();
+    };
+    SweepResult one = sweep(1);
+    SweepResult many = sweep(8);
+    ASSERT_EQ(one.trials.size(), many.trials.size());
+    for (size_t t = 0; t < one.trials.size(); ++t) {
+      const RunResult& a = one.trials[t];
+      const RunResult& b = many.trials[t];
+      ASSERT_EQ(a.epochs.size(), b.epochs.size());
+      for (size_t i = 0; i < a.epochs.size(); ++i) {
+        ASSERT_EQ(a.epochs[i].value, b.epochs[i].value)
+            << StrategyName(s) << " trial " << t << " epoch " << i;
+        ASSERT_EQ(a.epochs[i].true_contributing, b.epochs[i].true_contributing);
+      }
+      ASSERT_EQ(a.rms, b.rms) << StrategyName(s);
+      ASSERT_EQ(a.bytes_per_epoch, b.bytes_per_epoch) << StrategyName(s);
+      ASSERT_EQ(a.topology_repairs, b.topology_repairs);
+    }
+    ASSERT_EQ(one.rms.mean(), many.rms.mean());
+    ASSERT_EQ(one.estimates.mean(), many.estimates.mean());
+  }
+}
+
+}  // namespace
+}  // namespace td

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a BENCH_micro.json run against a committed
+baseline and fail on slowdowns.
+
+Usage:
+    check_bench.py CURRENT BASELINE [--threshold 0.25] [--skip METRIC ...]
+
+Every metric present in both files is compared as a ratio
+current / baseline; any metric slower than (1 + threshold) fails the gate.
+The values are the median of several chrono-timed runs (bench_micro's
+SecondsPerCall), which absorbs most CI-runner noise; the generous default
+threshold absorbs the rest. Speedups and new metrics never fail -- the gate
+only guards against regressions of the counters the baseline pins.
+
+With --calibrate METRIC, every ratio is divided by that metric's own
+current/baseline ratio before the threshold check. This cancels the
+absolute speed difference between the machine that recorded the baseline
+and the machine running the gate (CI runners are not the dev box), turning
+the gate into a relative-profile check: "did anything slow down relative
+to the calibration workload". The calibration metric itself is then exempt
+from the threshold but sanity-bounded -- a machine-factor outside
+[1/max-factor, max-factor] fails loudly rather than silently rescaling a
+real regression away.
+
+Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for row in doc.get("results", []):
+        name = row.get("metric")
+        value = row.get("value")
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            metrics[name] = float(value)
+    if not metrics:
+        print(f"check_bench: no metric/value rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return metrics, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_micro.json from this build")
+    parser.add_argument("baseline", help="pinned baseline json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--skip", action="append", default=[],
+                        metavar="METRIC",
+                        help="metric to exclude (repeatable); thread-count-"
+                             "dependent counters don't compare across "
+                             "runner shapes")
+    parser.add_argument("--calibrate", metavar="METRIC", default=None,
+                        help="divide every ratio by this metric's ratio to "
+                             "cancel baseline-machine vs gate-machine speed")
+    parser.add_argument("--max-machine-factor", type=float, default=4.0,
+                        help="sanity bound on the calibration ratio "
+                             "(default 4.0)")
+    args = parser.parse_args()
+
+    current, cur_doc = load_metrics(args.current)
+    baseline, _ = load_metrics(args.baseline)
+
+    sha = cur_doc.get("git_sha", "unknown")
+    build = cur_doc.get("build_type", "unknown")
+    print(f"bench gate: {args.current} (git {sha}, {build}) "
+          f"vs {args.baseline}, threshold +{args.threshold:.0%}")
+
+    failures = []
+    scale = 1.0
+    if args.calibrate:
+        cal = args.calibrate
+        if cal not in current or cal not in baseline or baseline[cal] <= 0:
+            print(f"check_bench: calibration metric {cal} missing",
+                  file=sys.stderr)
+            sys.exit(2)
+        scale = current[cal] / baseline[cal]
+        print(f"  calibration: {cal} machine factor {scale:.2f}x")
+        if not (1.0 / args.max_machine_factor <= scale
+                <= args.max_machine_factor):
+            # Don't fall through to per-metric comparisons: uncalibrated
+            # ratios against an incomparable machine would bury this one
+            # actionable message under a wall of spurious REGRESSED lines.
+            print(f"\nFAILED:\n  calibration factor {scale:.2f}x outside "
+                  f"sanity bound {args.max_machine_factor}x -- baseline "
+                  f"and runner are not comparable (or {cal} itself "
+                  f"regressed badly)", file=sys.stderr)
+            sys.exit(1)
+
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        if name in args.skip or name == args.calibrate:
+            print(f"  {name:<24} skipped")
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if base <= 0:
+            print(f"  {name:<24} baseline <= 0; skipped")
+            continue
+        ratio = current[name] / base / scale
+        verdict = "ok" if ratio <= 1.0 + args.threshold else "REGRESSED"
+        print(f"  {name:<24} {base:>12.3f} -> {current[name]:>12.3f}  "
+              f"({ratio:>5.2f}x)  {verdict}")
+        compared += 1
+        if verdict != "ok":
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+
+    if compared == 0 and not failures:
+        print("check_bench: nothing compared", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate: OK")
+
+
+if __name__ == "__main__":
+    main()

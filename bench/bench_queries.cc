@@ -1,0 +1,158 @@
+// Query-set width sweep: per-query cost of N concurrent aggregates
+// computed in one engine pass, versus N independent runs.
+//
+// For every strategy and width w in {1, 2, 4, 8} the bench runs the first
+// w queries of a fixed 8-query dashboard as one query set and reports
+// bytes/epoch, per-query bytes/epoch, and the same cost when each query
+// pays for its own radio traffic (w independent single-query runs). The
+// queries are ordered heaviest payload first, so the per-query byte cost
+// must fall monotonically as the fixed per-message overhead (header, and
+// in multi-path mode the contributing-count piggyback) amortizes over the
+// set; the bench enforces that invariant itself and exits nonzero on any
+// violation. tools/check_bench.py additionally gates the emitted
+// BENCH_queries.json on the 8-query amortization ratio in CI.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace td;
+
+namespace {
+
+uint64_t LightReading(NodeId node, uint32_t epoch) {
+  return (node * 131 + epoch * 17) % 1024;
+}
+
+uint64_t TempReading(NodeId node, uint32_t epoch) {
+  return 15 + (node * 7 + epoch) % 25;
+}
+
+uint64_t HumidityReading(NodeId node, uint32_t epoch) {
+  return 30 + (node * 13 + epoch * 3) % 60;
+}
+
+/// The dashboard, heaviest payload first (Avg ships two FM sketches in
+/// multi-path mode; UniqueCount one sketch even tree-side; the counting
+/// and extremum queries ride on a handful of bytes). Heaviest-first order
+/// is what makes the per-query byte curve monotone: appending a payload
+/// no heavier than the running average can only pull the average down.
+std::vector<Query> DashboardQueries() {
+  return {
+      Query{.kind = AggregateKind::kAvg,
+            .name = "AvgLight",
+            .reading = LightReading},
+      Query{.kind = AggregateKind::kUniqueCount,
+            .name = "UniqueTemp",
+            .reading = TempReading},
+      Query{.kind = AggregateKind::kCount, .name = "Count"},
+      Query{.kind = AggregateKind::kSum,
+            .name = "SumLight",
+            .reading = LightReading},
+      Query{.kind = AggregateKind::kSum,
+            .name = "SumTemp",
+            .reading = TempReading},
+      Query{.kind = AggregateKind::kSum,
+            .name = "SumHumidity",
+            .reading = HumidityReading},
+      Query{.kind = AggregateKind::kMax,
+            .name = "MaxTemp",
+            .reading = TempReading},
+      Query{.kind = AggregateKind::kMin,
+            .name = "MinTemp",
+            .reading = TempReading},
+  };
+}
+
+constexpr uint32_t kWarmup = 20;
+constexpr uint32_t kMeasure = 60;
+constexpr uint64_t kNetSeed = 404;
+constexpr double kLossRate = 0.2;
+
+RunResult RunWidth(const Scenario& sc, Strategy strategy,
+                   const std::vector<Query>& queries, size_t width) {
+  Experiment::Builder b;
+  b.Scenario(&sc)
+      .Strategy(strategy)
+      .GlobalLossRate(kLossRate)
+      .NetworkSeed(kNetSeed)
+      .AdaptPeriod(10)
+      .Warmup(kWarmup)
+      .Epochs(kMeasure);
+  for (size_t i = 0; i < width; ++i) b.AddQuery(queries[i]);
+  return b.Run();
+}
+
+}  // namespace
+
+int main() {
+  Scenario sc = MakeSyntheticScenario(/*seed=*/11, /*num_sensors=*/200);
+  std::vector<Query> queries = DashboardQueries();
+  const std::vector<size_t> widths = {1, 2, 4, 8};
+
+  bench::BenchJson json("queries");
+  std::printf(
+      "Query-set width sweep: %zu sensors, loss %.2f, %u epochs "
+      "(+%u warmup)\n\n",
+      sc.num_sensors(), kLossRate, kMeasure, kWarmup);
+  std::printf("%-10s %-6s %-14s %-14s %-14s %-12s %s\n", "strategy", "width",
+              "bytes/epoch", "perq_bytes", "indep_perq", "amortization",
+              "rms(primary)");
+
+  bool monotonic = true;
+  for (Strategy strategy : kAllStrategies) {
+    // Independent baseline: each query pays for its own epoch of traffic.
+    std::vector<RunResult> solo;
+    std::vector<double> solo_bytes;
+    for (const Query& q : queries) {
+      solo.push_back(RunWidth(sc, strategy, {q}, 1));
+      solo_bytes.push_back(solo.back().bytes_per_epoch);
+    }
+
+    double prev_per_query = 0.0;
+    for (size_t w : widths) {
+      // The width-1 set IS the first solo run; don't simulate it twice.
+      RunResult r = w == 1 ? solo.front() : RunWidth(sc, strategy, queries, w);
+      double per_query = r.bytes_per_epoch / static_cast<double>(w);
+      double independent = 0.0;
+      for (size_t i = 0; i < w; ++i) independent += solo_bytes[i];
+      double independent_per_query = independent / static_cast<double>(w);
+      double amortization = per_query / independent_per_query;
+
+      std::printf("%-10s %-6zu %-14.1f %-14.1f %-14.1f %-12.3f %.4f\n",
+                  StrategyName(strategy), w, r.bytes_per_epoch, per_query,
+                  independent_per_query, amortization, r.rms);
+      json.Entry()
+          .Field("strategy", StrategyName(strategy))
+          .Field("width", static_cast<double>(w))
+          .Field("bytes_per_epoch", r.bytes_per_epoch)
+          .Field("per_query_bytes", per_query)
+          .Field("independent_per_query_bytes", independent_per_query)
+          .Field("amortization", amortization)
+          .Field("header_bytes_per_epoch", r.header_bytes_per_epoch)
+          .Field("payload_bytes_per_epoch", r.payload_bytes_per_epoch)
+          .Field("rms_primary", r.rms);
+
+      if (prev_per_query > 0.0 && per_query >= prev_per_query) {
+        std::printf("  ^ FAILED: per-query bytes did not drop (%.1f -> "
+                    "%.1f)\n",
+                    prev_per_query, per_query);
+        monotonic = false;
+      }
+      prev_per_query = per_query;
+    }
+    std::printf("\n");
+  }
+
+  json.Write();
+  if (!monotonic) {
+    std::printf("FAILED: per-query bytes/epoch must strictly decrease with "
+                "query-set width for every strategy\n");
+    return 1;
+  }
+  std::printf("OK: per-query bytes/epoch strictly decreasing with width for "
+              "every strategy\n");
+  return 0;
+}

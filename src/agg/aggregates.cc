@@ -401,4 +401,23 @@ UniformSampleAggregate::Result UniformSampleAggregate::EvaluateCombined(
   return merged;
 }
 
+// ------------------------------------------------------------- Quantile --
+
+QuantileAggregate::QuantileAggregate(RealReadingFn reading, double p,
+                                     size_t sample_size, uint64_t seed)
+    : inner_(std::move(reading), sample_size, seed), p_(p) {
+  TD_CHECK_GE(p_, 0.0);
+  TD_CHECK_LE(p_, 1.0);
+}
+
+double QuantileAggregate::FromSample(const SampleSynopsis& s) const {
+  if (s.Empty()) return 0.0;
+  return s.EstimateQuantile(p_);
+}
+
+QuantileAggregate::Result QuantileAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  return FromSample(inner_.EvaluateCombined(p, s));
+}
+
 }  // namespace td

@@ -285,10 +285,67 @@ class UniformSampleAggregate {
   size_t TreeBytes(const TreePartial& p) const { return p.EncodedBytes(); }
   size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
 
+  size_t sample_size() const { return sample_size_; }
+
  private:
   RealReadingFn reading_;
   size_t sample_size_;
   uint64_t seed_;
+};
+
+/// Sample capacity QUANTILE uses when the caller does not pick one. 64
+/// bounds the payload at ~1KB while keeping the nearest-rank estimate
+/// within a few percentile ranks for the paper's network sizes.
+inline constexpr size_t kDefaultQuantileSampleSize = 64;
+
+/// QUANTILE (median by default): the p-quantile of real readings, computed
+/// over the Section 5 uniform-sample synopsis. Tree partials and synopses
+/// are both SampleSynopsis (min-wise sampling is duplicate-insensitive, so
+/// conversion is the identity); evaluation takes the nearest-rank
+/// p-quantile of the surviving sample. An empty sample evaluates to 0.
+class QuantileAggregate {
+ public:
+  using TreePartial = SampleSynopsis;
+  using Synopsis = SampleSynopsis;
+  using Result = double;
+
+  QuantileAggregate(RealReadingFn reading, double p,
+                    size_t sample_size = kDefaultQuantileSampleSize,
+                    uint64_t seed = 4);
+
+  TreePartial MakeTreePartial(NodeId node, uint32_t epoch) const {
+    return inner_.MakeTreePartial(node, epoch);
+  }
+  TreePartial EmptyTreePartial() const { return inner_.EmptyTreePartial(); }
+  void MergeTree(TreePartial* into, const TreePartial& from) const {
+    inner_.MergeTree(into, from);
+  }
+  void FinalizeTreePartial(TreePartial* /*p*/, NodeId /*node*/) const {}
+
+  Synopsis MakeSynopsis(NodeId node, uint32_t epoch) const {
+    return inner_.MakeSynopsis(node, epoch);
+  }
+  Synopsis EmptySynopsis() const { return inner_.EmptySynopsis(); }
+  void Fuse(Synopsis* into, const Synopsis& from) const {
+    inner_.Fuse(into, from);
+  }
+  Synopsis Convert(const TreePartial& p) const { return p; }
+
+  Result EvaluateTree(const TreePartial& p) const { return FromSample(p); }
+  Result EvaluateSynopsis(const Synopsis& s) const { return FromSample(s); }
+  Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
+
+  size_t TreeBytes(const TreePartial& p) const { return p.EncodedBytes(); }
+  size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
+
+  double quantile_p() const { return p_; }
+  size_t sample_size() const { return inner_.sample_size(); }
+
+ private:
+  double FromSample(const SampleSynopsis& s) const;
+
+  UniformSampleAggregate inner_;
+  double p_;
 };
 
 }  // namespace td

@@ -1,0 +1,151 @@
+#include "agg/query_set.h"
+
+namespace td {
+
+QuerySetAggregate::QuerySetAggregate(
+    std::vector<std::unique_ptr<QueryOps>> queries, size_t primary)
+    : queries_(std::move(queries)), primary_(primary) {
+  TD_CHECK_GT(queries_.size(), 0u);
+  TD_CHECK_LT(primary_, queries_.size());
+  for (const auto& q : queries_) TD_CHECK(q != nullptr);
+}
+
+QuerySetAggregate::TreePartial QuerySetAggregate::MakeTreePartial(
+    NodeId node, uint32_t epoch) const {
+  TreePartial p = EmptyTreePartial();
+  MakeTreePartialInto(&p, node, epoch);
+  return p;
+}
+
+QuerySetAggregate::TreePartial QuerySetAggregate::EmptyTreePartial() const {
+  TreePartial p;
+  p.q.reserve(queries_.size());
+  for (const auto& ops : queries_) p.q.emplace_back(ops.get());
+  return p;
+}
+
+void QuerySetAggregate::MergeTree(TreePartial* into,
+                                  const TreePartial& from) const {
+  TD_DCHECK(into->q.size() == queries_.size());
+  TD_DCHECK(from.q.size() == queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->MergeTree(into->q[i].get(), from.q[i].get());
+  }
+}
+
+void QuerySetAggregate::FinalizeTreePartial(TreePartial* p,
+                                            NodeId node) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->FinalizeTreePartial(p->q[i].get(), node);
+  }
+}
+
+QuerySetAggregate::Synopsis QuerySetAggregate::MakeSynopsis(
+    NodeId node, uint32_t epoch) const {
+  Synopsis s = EmptySynopsis();
+  MakeSynopsisInto(&s, node, epoch);
+  return s;
+}
+
+QuerySetAggregate::Synopsis QuerySetAggregate::EmptySynopsis() const {
+  Synopsis s;
+  s.q.reserve(queries_.size());
+  for (const auto& ops : queries_) s.q.emplace_back(ops.get());
+  return s;
+}
+
+void QuerySetAggregate::Fuse(Synopsis* into, const Synopsis& from) const {
+  TD_DCHECK(into->q.size() == queries_.size());
+  TD_DCHECK(from.q.size() == queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->Fuse(into->q[i].get(), from.q[i].get());
+  }
+}
+
+QuerySetAggregate::Synopsis QuerySetAggregate::Convert(
+    const TreePartial& p) const {
+  Synopsis s;
+  s.q.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    s.q.emplace_back(queries_[i].get(),
+                     queries_[i]->ConvertTreePartial(p.q[i].get()));
+  }
+  return s;
+}
+
+void QuerySetAggregate::MakeTreePartialInto(TreePartial* out, NodeId node,
+                                            uint32_t epoch) const {
+  TD_DCHECK(out->q.size() == queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->MakeTreePartialInto(out->q[i].get(), node, epoch);
+  }
+}
+
+void QuerySetAggregate::MakeSynopsisInto(Synopsis* out, NodeId node,
+                                         uint32_t epoch) const {
+  TD_DCHECK(out->q.size() == queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->MakeSynopsisInto(out->q[i].get(), node, epoch);
+  }
+}
+
+void QuerySetAggregate::FuseConverted(Synopsis* into,
+                                      const TreePartial& p) const {
+  TD_DCHECK(into->q.size() == queries_.size());
+  TD_DCHECK(p.q.size() == queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    queries_[i]->FuseConverted(into->q[i].get(), p.q[i].get());
+  }
+}
+
+QuerySetAggregate::Result QuerySetAggregate::EvaluateTree(
+    const TreePartial& p) const {
+  Result r;
+  r.primary = primary_;
+  r.values.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    r.values.push_back(queries_[i]->EvaluateTree(p.q[i].get()));
+  }
+  return r;
+}
+
+QuerySetAggregate::Result QuerySetAggregate::EvaluateSynopsis(
+    const Synopsis& s) const {
+  Result r;
+  r.primary = primary_;
+  r.values.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    r.values.push_back(queries_[i]->EvaluateSynopsis(s.q[i].get()));
+  }
+  return r;
+}
+
+QuerySetAggregate::Result QuerySetAggregate::EvaluateCombined(
+    const TreePartial& p, const Synopsis& s) const {
+  Result r;
+  r.primary = primary_;
+  r.values.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    r.values.push_back(
+        queries_[i]->EvaluateCombined(p.q[i].get(), s.q[i].get()));
+  }
+  return r;
+}
+
+size_t QuerySetAggregate::TreeBytes(const TreePartial& p) const {
+  size_t bytes = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    bytes += queries_[i]->TreeBytes(p.q[i].get());
+  }
+  return bytes;
+}
+
+size_t QuerySetAggregate::SynopsisBytes(const Synopsis& s) const {
+  size_t bytes = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    bytes += queries_[i]->SynopsisBytes(s.q[i].get());
+  }
+  return bytes;
+}
+
+}  // namespace td

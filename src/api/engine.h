@@ -18,6 +18,7 @@
 #include "agg/aggregate.h"
 #include "agg/epoch_outcome.h"
 #include "agg/multipath_aggregator.h"
+#include "agg/query_set.h"
 #include "agg/tree_aggregator.h"
 #include "api/strategy.h"
 #include "freq/freq_aggregate.h"
@@ -45,6 +46,11 @@ struct EpochResult {
 
   /// Full frequent-items evaluation; empty for every other aggregate.
   FreqResult freq;
+
+  /// Multi-query engines (QuerySetAggregate): every member query's answer,
+  /// index-aligned with the query list; `value` repeats the primary
+  /// query's entry. Empty for single-aggregate engines.
+  std::vector<double> query_values;
 };
 
 /// Adaptation counters; all zeros for non-adaptive strategies.
@@ -124,6 +130,10 @@ inline void AssignResult(EpochResult* r, double v) { r->value = v; }
 inline void AssignResult(EpochResult* r, const FreqResult& f) {
   r->value = f.total;
   r->freq = f;
+}
+inline void AssignResult(EpochResult* r, const QuerySetResult& q) {
+  r->query_values = q.values;
+  r->value = q.values.empty() ? 0.0 : q.values[q.primary];
 }
 
 template <typename Outcome>

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <set>
 #include <thread>
+#include <type_traits>
 
 #include "agg/aggregates.h"
 #include "topology/domination.h"
@@ -46,6 +46,20 @@ Experiment::Builder& Experiment::Builder::Lab(uint64_t seed) {
 
 Experiment::Builder& Experiment::Builder::Aggregate(AggregateKind kind) {
   kind_ = kind;
+  kind_set_ = true;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::AddQuery(td::Query query) {
+  TD_CHECK_MSG(query.kind != AggregateKind::kFrequentItems,
+               "kFrequentItems cannot join a query set: its result is not a "
+               "scalar; run it via Aggregate(kFrequentItems)");
+  queries_.push_back(std::move(query));
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::PrimaryQuery(size_t index) {
+  primary_ = index;
   return *this;
 }
 
@@ -141,6 +155,7 @@ Experiment::Builder& Experiment::Builder::GlobalLossRate(double p) {
 
 Experiment::Builder& Experiment::Builder::NetworkSeed(uint64_t seed) {
   network_seed_ = seed;
+  network_seed_set_ = true;
   return *this;
 }
 
@@ -179,6 +194,30 @@ Experiment::Builder& Experiment::Builder::Threads(unsigned threads) {
 Experiment Experiment::Builder::Build() {
   Experiment exp;
 
+  // Fail fast on incompatible combinations, with diagnostics that say what
+  // to change -- a silently misbehaving simulation is worse than an abort.
+  TD_CHECK_MSG(!(kind_set_ && !queries_.empty()),
+               "Aggregate(kind) and AddQuery(...) are mutually exclusive: "
+               "Aggregate is sugar for a one-query set, so fold it into the "
+               "AddQuery list instead");
+  TD_CHECK_MSG(!(dynamics_ && shared_network_),
+               "Dynamics() is incompatible with a shared Network(): dynamic "
+               "repairs mutate the experiment's own scenario and node "
+               "activity state");
+  TD_CHECK_MSG(!(dynamics_ && queries_.empty() &&
+                 kind_ == AggregateKind::kFrequentItems),
+               "Dynamics() does not support kFrequentItems: its item "
+               "streams and precision gradient assume a static tree");
+  if (shared_network_) {
+    TD_CHECK_MSG(loss_ == nullptr && !loss_factory_,
+                 "LossModel()/GlobalLossRate() is incompatible with a "
+                 "shared Network(): the shared network already owns its "
+                 "loss model");
+    TD_CHECK_MSG(!network_seed_set_,
+                 "NetworkSeed() is incompatible with a shared Network(): "
+                 "the shared network already owns its RNG stream");
+  }
+
   // Scenario.
   TD_CHECK(scenario_source_ != ScenarioSource::kNone);
   switch (scenario_source_) {
@@ -203,8 +242,6 @@ Experiment Experiment::Builder::Build() {
   // copy (shared external scenarios stay pristine; RunTrials hands every
   // trial the same resolved scenario and each trial clones it here).
   if (dynamics_) {
-    TD_CHECK(shared_network_ == nullptr);
-    TD_CHECK(kind_ != AggregateKind::kFrequentItems);
     if (exp.owned_scenario_ == nullptr) {
       exp.owned_scenario_ = std::make_unique<td::Scenario>(*exp.scenario_);
       exp.scenario_ = exp.owned_scenario_.get();
@@ -220,7 +257,6 @@ Experiment Experiment::Builder::Build() {
 
   // Network.
   if (shared_network_) {
-    TD_CHECK(loss_ == nullptr && !loss_factory_);
     exp.network_ = shared_network_;
   } else {
     std::shared_ptr<td::LossModel> loss = loss_;
@@ -249,16 +285,6 @@ Experiment Experiment::Builder::Build() {
   }
   exp.population_ = static_cast<double>(sensors.size());
   TD_CHECK_GT(sensors.size(), 0u);
-
-  const int bitmaps =
-      sketch_bitmaps_ > 0 ? sketch_bitmaps_ : FmSketch::kDefaultBitmaps;
-  UintReadingFn reading = reading_;
-  RealReadingFn real_reading = real_reading_;
-  if (!real_reading && reading) {
-    real_reading = [reading](NodeId v, uint32_t e) {
-      return static_cast<double>(reading(v, e));
-    };
-  }
 
   auto install = [&]<typename A>(std::shared_ptr<A> aggregate) {
     exp.engine_ =
@@ -290,88 +316,63 @@ Experiment Experiment::Builder::Build() {
     SensorList fixed = std::make_shared<const std::vector<NodeId>>(sensors);
     sensors_at = [fixed](uint32_t) { return fixed; };
   }
-  switch (kind_) {
-    case AggregateKind::kCount:
-      install(std::make_shared<CountAggregate>(bitmaps));
-      if (!exp.truth_) {
-        exp.truth_ = [sensors_at](uint32_t e) {
-          return static_cast<double>(sensors_at(e)->size());
-        };
-      }
-      break;
-    case AggregateKind::kSum:
-      TD_CHECK(reading != nullptr);
-      install(std::make_shared<SumAggregate>(reading, bitmaps));
-      if (!exp.truth_) {
-        exp.truth_ = [sensors_at, reading](uint32_t e) {
-          double t = 0;
-          for (NodeId v : *sensors_at(e)) {
-            t += static_cast<double>(reading(v, e));
-          }
-          return t;
-        };
-      }
-      break;
-    case AggregateKind::kAvg:
-      TD_CHECK(reading != nullptr);
-      install(std::make_shared<AverageAggregate>(reading, bitmaps));
-      if (!exp.truth_) {
-        exp.truth_ = [sensors_at, reading](uint32_t e) {
-          SensorList up = sensors_at(e);
-          if (up->empty()) return 0.0;
-          double t = 0;
-          for (NodeId v : *up) t += static_cast<double>(reading(v, e));
-          return t / static_cast<double>(up->size());
-        };
-      }
-      break;
-    case AggregateKind::kMin:
-    case AggregateKind::kMax: {
-      TD_CHECK(real_reading != nullptr);
-      const bool is_min = kind_ == AggregateKind::kMin;
-      install(std::make_shared<ExtremumAggregate>(
-          is_min ? ExtremumAggregate::Kind::kMin
-                 : ExtremumAggregate::Kind::kMax,
-          real_reading));
-      if (!exp.truth_) {
-        exp.truth_ = [sensors_at, real_reading, is_min](uint32_t e) {
-          SensorList up = sensors_at(e);
-          if (up->empty()) return 0.0;
-          double t = real_reading(up->front(), e);
-          for (NodeId v : *up) {
-            double r = real_reading(v, e);
-            t = is_min ? std::min(t, r) : std::max(t, r);
-          }
-          return t;
-        };
-      }
-      break;
+  if (queries_.empty() && kind_ == AggregateKind::kFrequentItems) {
+    TD_CHECK(items_ != nullptr);
+    std::shared_ptr<PrecisionGradient> gradient = gradient_;
+    if (gradient == nullptr) {
+      double d = DominationFactor(ComputeHeightHistogram(sc.tree));
+      if (d <= 1.05) d = 1.1;  // the Lemma 3 constant needs d > 1
+      gradient = std::make_shared<MinTotalLoadGradient>(freq_params_.eps, d);
     }
-    case AggregateKind::kUniqueCount:
-      TD_CHECK(reading != nullptr);
-      install(std::make_shared<UniqueCountAggregate>(reading, bitmaps));
-      if (!exp.truth_) {
-        exp.truth_ = [sensors_at, reading](uint32_t e) {
-          std::set<uint64_t> distinct;
-          for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
-          return static_cast<double>(distinct.size());
-        };
+    auto agg = std::make_shared<FrequentItemsAggregate>(
+        items_, &sc.tree, gradient, freq_params_);
+    install(std::move(agg));
+    // No scalar ground truth (and no per-query series) unless the caller
+    // provides one.
+  } else {
+    // Resolve the query set; Aggregate(kind) is sugar for a one-query set.
+    std::vector<td::Query> queries = queries_;
+    const bool lowered_single = queries.empty();
+    if (lowered_single) {
+      td::Query q;
+      q.kind = kind_;
+      queries.push_back(std::move(q));
+    }
+    for (td::Query& q : queries) {
+      q = api_internal::ResolveQuery(std::move(q), reading_, real_reading_,
+                                     sketch_bitmaps_);
+    }
+    TD_CHECK_MSG(primary_ < queries.size(),
+                 "PrimaryQuery(index) is out of range of the AddQuery list");
+
+    exp.primary_ = primary_;
+    for (const td::Query& q : queries) {
+      exp.query_names_.push_back(q.name);
+      exp.query_truths_.push_back(
+          api_internal::MakeDefaultQueryTruth(q, sensors_at));
+    }
+    // Builder-level Truth() overrides the primary query's default.
+    if (truth_) exp.query_truths_[primary_] = truth_;
+    exp.truth_ = exp.query_truths_[primary_];
+
+    if (lowered_single) {
+      // A one-query set lowers to the dedicated single-aggregate engine:
+      // bit-identical to the QuerySetAggregate path (pinned by
+      // queryset_test) without its per-operation type-erasure hop. The
+      // same VisitQueryAggregate dispatch builds both, so the two paths
+      // cannot drift apart.
+      api_internal::VisitQueryAggregate(queries.front(), [&](auto agg) {
+        install(std::make_shared<std::decay_t<decltype(agg)>>(
+            std::move(agg)));
+      });
+    } else {
+      std::vector<std::unique_ptr<QueryOps>> ops;
+      ops.reserve(queries.size());
+      for (const td::Query& q : queries) {
+        ops.push_back(api_internal::MakeQueryOps(q));
       }
-      break;
-    case AggregateKind::kFrequentItems: {
-      TD_CHECK(items_ != nullptr);
-      std::shared_ptr<PrecisionGradient> gradient = gradient_;
-      if (gradient == nullptr) {
-        double d = DominationFactor(ComputeHeightHistogram(sc.tree));
-        if (d <= 1.05) d = 1.1;  // the Lemma 3 constant needs d > 1
-        gradient =
-            std::make_shared<MinTotalLoadGradient>(freq_params_.eps, d);
-      }
-      auto agg = std::make_shared<FrequentItemsAggregate>(
-          items_, &sc.tree, gradient, freq_params_);
-      install(std::move(agg));
-      // No scalar ground truth unless the caller provides one.
-      break;
+      install(
+          std::make_shared<QuerySetAggregate>(std::move(ops), primary_));
     }
   }
 
@@ -384,9 +385,9 @@ RunResult Experiment::Builder::Run() { return Build().Run(); }
 
 SweepResult Experiment::Builder::RunTrials() {
   TD_CHECK_GT(trials_, 0u);
-  // Trials must not share a network: each needs its own RNG stream so the
-  // sweep is reproducible per trial.
-  TD_CHECK(shared_network_ == nullptr);
+  TD_CHECK_MSG(shared_network_ == nullptr,
+               "RunTrials() is incompatible with a shared Network(): each "
+               "trial needs its own RNG stream to stay reproducible");
 
   // Resolve the scenario and loss model once; both are immutable during
   // aggregation, so all trials share them read-only. Every trial then
@@ -479,12 +480,58 @@ RunResult Experiment::Run() {
   for (const EpochResult& e : out.epochs) {
     out.contributing.push_back(static_cast<double>(e.true_contributing) /
                                population_);
-    if (truth_) out.truths.push_back(truth_(e.epoch));
   }
-  if (truth_) out.rms = RelativeRmsError(out.estimates(), out.truths);
+
+  // Per-query series. Query-set engines report every member's answer in
+  // EpochResult.query_values; lowered one-query sets report through
+  // EpochResult.value only.
+  const size_t nq = query_names_.size();
+  if (nq > 0) {
+    out.queries.resize(nq);
+    for (size_t i = 0; i < nq; ++i) out.queries[i].name = query_names_[i];
+    for (const EpochResult& e : out.epochs) {
+      // Lowered one-query sets leave query_values empty; any other size
+      // mismatch would be an engine bug, not a case to paper over.
+      TD_DCHECK(e.query_values.empty() || e.query_values.size() == nq);
+      for (size_t i = 0; i < nq; ++i) {
+        out.queries[i].estimates.push_back(
+            e.query_values.size() == nq ? e.query_values[i] : e.value);
+      }
+    }
+    for (size_t i = 0; i < nq; ++i) {
+      if (!query_truths_[i]) continue;
+      QuerySeries& series = out.queries[i];
+      series.truths.reserve(out.epochs.size());
+      for (const EpochResult& e : out.epochs) {
+        series.truths.push_back(query_truths_[i](e.epoch));
+      }
+      series.rms = RelativeRmsError(series.estimates, series.truths);
+    }
+    // truth_ aliases the primary query's truth, so the top-level series
+    // is a copy, not a second evaluation pass.
+    out.truths = out.queries[primary_].truths;
+    out.rms = out.queries[primary_].rms;
+  } else if (truth_) {
+    // FrequentItems with a caller-supplied scalar truth.
+    out.truths.reserve(out.epochs.size());
+    for (const EpochResult& e : out.epochs) {
+      out.truths.push_back(truth_(e.epoch));
+    }
+    out.rms = RelativeRmsError(out.estimates(), out.truths);
+  }
+
   out.energy = network_->total_energy();
   out.bytes_per_epoch =
       static_cast<double>(out.energy.bytes) / static_cast<double>(epochs_);
+  // Every physical transmission (retransmissions included) carries one
+  // fixed header; the rest of the byte tally is payload. With a query set
+  // the header side stays flat as queries are added -- the amortization the
+  // multi-query API exists to exploit.
+  out.header_bytes_per_epoch =
+      static_cast<double>(out.energy.transmissions * kMessageHeaderBytes) /
+      static_cast<double>(epochs_);
+  out.payload_bytes_per_epoch =
+      out.bytes_per_epoch - out.header_bytes_per_epoch;
   out.final_delta_size = engine_->delta_size();
   out.stats = engine_->stats();
   if (dynamics_) out.topology_repairs = dynamics_->repairs();

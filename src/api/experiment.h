@@ -26,6 +26,7 @@
 
 #include "agg/aggregates.h"
 #include "api/engine.h"
+#include "api/query.h"
 #include "freq/item_source.h"
 #include "freq/multipath_freq.h"
 #include "freq/precision_gradient.h"
@@ -36,18 +37,37 @@
 
 namespace td {
 
+/// Per-query series of a run: one entry of RunResult.queries for every
+/// query in the set (single-aggregate runs get exactly one).
+struct QuerySeries {
+  std::string name;
+
+  /// Per measured epoch: the query's estimate and (when derivable) exact
+  /// ground truth.
+  std::vector<double> estimates;
+  std::vector<double> truths;
+
+  /// Relative RMS error of `estimates` vs `truths` (0 when no truth).
+  double rms = 0.0;
+};
+
 /// Batch outcome of Experiment::Run: the measured epochs plus the derived
 /// series every paper figure reports.
 struct RunResult {
   /// One entry per measured epoch (warmup epochs are discarded).
   std::vector<EpochResult> epochs;
 
-  /// Per-epoch ground truth; empty when no truth is known (FrequentItems
-  /// without an explicit Truth function).
+  /// Per-epoch ground truth of the PRIMARY query; empty when no truth is
+  /// known (FrequentItems without an explicit Truth function).
   std::vector<double> truths;
 
-  /// Relative RMS error of the estimates vs `truths` (0 when no truth).
+  /// Relative RMS error of the primary estimates vs `truths` (0 when no
+  /// truth).
   double rms = 0.0;
+
+  /// One series per query, index-aligned with the builder's query list.
+  /// Empty only for FrequentItems (no scalar series).
+  std::vector<QuerySeries> queries;
 
   /// Ground-truth contributing fraction per measured epoch.
   std::vector<double> contributing;
@@ -56,6 +76,13 @@ struct RunResult {
   /// warmup when warmup > 0).
   EnergyStats energy;
   double bytes_per_epoch = 0.0;
+
+  /// Split of bytes_per_epoch into the fixed per-message headers (charged
+  /// once per physical transmission, shared by every query in a set) and
+  /// everything riding in the payload. Multi-query amortization shows up
+  /// here: header bytes stay flat as the query set widens.
+  double header_bytes_per_epoch = 0.0;
+  double payload_bytes_per_epoch = 0.0;
 
   /// Delta size after the last epoch (0 for strategies with no region).
   size_t final_delta_size = 0;
@@ -130,8 +157,12 @@ class Experiment {
   std::shared_ptr<td::DynamicScenario> dynamics_;
   uint32_t warmup_ = 0;
   uint32_t epochs_ = 0;
-  std::function<double(uint32_t)> truth_;
+  std::function<double(uint32_t)> truth_;  // primary query's truth
   double population_ = 0.0;
+  // Per-query metadata for RunResult.queries (empty for FrequentItems).
+  std::vector<std::string> query_names_;
+  std::vector<std::function<double(uint32_t)>> query_truths_;
+  size_t primary_ = 0;
 };
 
 class Experiment::Builder {
@@ -147,7 +178,21 @@ class Experiment::Builder {
   Builder& Lab(uint64_t seed);
 
   // ----------------------------------------------------------- aggregate
+  /// Runs a single aggregate of `kind`: sugar for a one-query set (and
+  /// bit-identical to it -- see DESIGN.md "Multi-query execution").
+  /// Mutually exclusive with AddQuery.
   Builder& Aggregate(AggregateKind kind);
+  /// Appends one standing query to the experiment's query set; repeatable.
+  /// All queries in the set are computed in a single engine pass per
+  /// epoch, sharing message headers (and the multi-path piggyback) so the
+  /// per-query byte cost drops as the set widens. Every kind except
+  /// kFrequentItems may join. Results come back per query in
+  /// RunResult.queries[] (and EpochResult.query_values).
+  Builder& AddQuery(td::Query query);
+  /// Index (into AddQuery order) of the primary query: the one whose
+  /// answer fills EpochResult.value, whose truth drives RunResult.rms, and
+  /// which stands for the set wherever one scalar is reported. Default 0.
+  Builder& PrimaryQuery(size_t index);
   /// Integer reading (Sum / Avg / UniqueCount; also Min/Max via cast).
   Builder& Reading(UintReadingFn reading);
   /// Real-valued reading (Min / Max); overrides Reading for those kinds.
@@ -231,6 +276,9 @@ class Experiment::Builder {
   size_t num_sensors_ = 600;
 
   AggregateKind kind_ = AggregateKind::kCount;
+  bool kind_set_ = false;
+  std::vector<td::Query> queries_;
+  size_t primary_ = 0;
   UintReadingFn reading_;
   RealReadingFn real_reading_;
   const ItemSource* items_ = nullptr;
@@ -246,6 +294,7 @@ class Experiment::Builder {
   std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>
       loss_factory_;
   uint64_t network_seed_ = 1;
+  bool network_seed_set_ = false;
   std::shared_ptr<td::Network> shared_network_;
 
   uint32_t warmup_ = 0;

@@ -1,0 +1,164 @@
+#include "api/query.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "sketch/fm_sketch.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace td {
+namespace api_internal {
+namespace {
+
+/// Default synopsis seeds per kind, matching the aggregate constructors'
+/// defaults so query sets and directly constructed aggregates agree
+/// bit-for-bit.
+uint64_t DefaultSeed(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return 1;
+    case AggregateKind::kSum:
+      return 2;
+    case AggregateKind::kAvg:
+      return 3;
+    case AggregateKind::kQuantile:
+      return 4;
+    case AggregateKind::kUniqueCount:
+      return 5;
+    default:
+      return 0;  // Min/Max and FrequentItems take no synopsis seed here
+  }
+}
+
+bool NeedsUintReading(AggregateKind kind) {
+  return kind == AggregateKind::kSum || kind == AggregateKind::kAvg ||
+         kind == AggregateKind::kUniqueCount;
+}
+
+bool NeedsRealReading(AggregateKind kind) {
+  return kind == AggregateKind::kMin || kind == AggregateKind::kMax ||
+         kind == AggregateKind::kQuantile;
+}
+
+}  // namespace
+
+Query ResolveQuery(Query q, const UintReadingFn& builder_reading,
+                   const RealReadingFn& builder_real_reading,
+                   int builder_sketch_bitmaps) {
+  TD_CHECK_MSG(q.kind != AggregateKind::kFrequentItems,
+               "kFrequentItems cannot join a query set: its result is not a "
+               "scalar; run it via Aggregate(kFrequentItems)");
+  if (q.name.empty()) q.name = AggregateKindName(q.kind);
+  // A per-query integer reading outranks the builder-level real reading
+  // (it is the more specific choice), mirroring how the builder-level
+  // integer reading backfills the real reading for Min/Max.
+  if (!q.real_reading) {
+    if (q.reading) {
+      UintReadingFn r = q.reading;
+      q.real_reading = [r](NodeId v, uint32_t e) {
+        return static_cast<double>(r(v, e));
+      };
+    } else if (builder_real_reading) {
+      q.real_reading = builder_real_reading;
+    } else if (builder_reading) {
+      UintReadingFn r = builder_reading;
+      q.real_reading = [r](NodeId v, uint32_t e) {
+        return static_cast<double>(r(v, e));
+      };
+    }
+  }
+  if (!q.reading) q.reading = builder_reading;
+  if (q.sketch_bitmaps <= 0) q.sketch_bitmaps = builder_sketch_bitmaps;
+  if (q.sketch_bitmaps <= 0) q.sketch_bitmaps = FmSketch::kDefaultBitmaps;
+  if (q.sketch_seed == 0) q.sketch_seed = DefaultSeed(q.kind);
+  if (q.sample_size == 0) q.sample_size = kDefaultQuantileSampleSize;
+  TD_CHECK_MSG(!(NeedsUintReading(q.kind) && q.reading == nullptr),
+               "Sum/Avg/UniqueCount queries need an integer Reading(), on "
+               "the query or on the builder");
+  TD_CHECK_MSG(!(NeedsRealReading(q.kind) && q.real_reading == nullptr),
+               "Min/Max/Quantile queries need a RealReading() or Reading(), "
+               "on the query or on the builder");
+  TD_CHECK_MSG(q.quantile_p >= 0.0 && q.quantile_p <= 1.0,
+               "Query::quantile_p must lie in [0, 1]");
+  return q;
+}
+
+std::unique_ptr<QueryOps> MakeQueryOps(const Query& q) {
+  return VisitQueryAggregate(q, [](auto agg) -> std::unique_ptr<QueryOps> {
+    return std::make_unique<QueryOpsImpl<decltype(agg)>>(std::move(agg));
+  });
+}
+
+std::function<double(uint32_t)> MakeDefaultQueryTruth(
+    const Query& q, SensorListFn sensors_at) {
+  if (q.truth) return q.truth;
+  switch (q.kind) {
+    case AggregateKind::kCount:
+      return [sensors_at](uint32_t e) {
+        return static_cast<double>(sensors_at(e)->size());
+      };
+    case AggregateKind::kSum: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        double t = 0;
+        for (NodeId v : *sensors_at(e)) {
+          t += static_cast<double>(reading(v, e));
+        }
+        return t;
+      };
+    }
+    case AggregateKind::kAvg: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        auto up = sensors_at(e);
+        if (up->empty()) return 0.0;
+        double t = 0;
+        for (NodeId v : *up) t += static_cast<double>(reading(v, e));
+        return t / static_cast<double>(up->size());
+      };
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      RealReadingFn real_reading = q.real_reading;
+      const bool is_min = q.kind == AggregateKind::kMin;
+      return [sensors_at, real_reading, is_min](uint32_t e) {
+        auto up = sensors_at(e);
+        if (up->empty()) return 0.0;
+        double t = real_reading(up->front(), e);
+        for (NodeId v : *up) {
+          double r = real_reading(v, e);
+          t = is_min ? std::min(t, r) : std::max(t, r);
+        }
+        return t;
+      };
+    }
+    case AggregateKind::kUniqueCount: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        std::set<uint64_t> distinct;
+        for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
+        return static_cast<double>(distinct.size());
+      };
+    }
+    case AggregateKind::kQuantile: {
+      RealReadingFn real_reading = q.real_reading;
+      const double p = q.quantile_p;
+      return [sensors_at, real_reading, p](uint32_t e) {
+        auto up = sensors_at(e);
+        if (up->empty()) return 0.0;
+        std::vector<double> values;
+        values.reserve(up->size());
+        for (NodeId v : *up) values.push_back(real_reading(v, e));
+        return Quantile(std::move(values), p);
+      };
+    }
+    case AggregateKind::kFrequentItems:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace api_internal
+}  // namespace td

@@ -1,0 +1,132 @@
+// The first-class query descriptor of the multi-query facade: what one
+// standing aggregate query over the sensor field looks like to the
+// Experiment builder. A query set is just a vector of these; the builder
+// turns each into type-erased QueryOps (agg/query_set.h) and runs the whole
+// set through one engine, sharing message headers and radio energy.
+//
+//   RunResult r = Experiment::Builder()
+//                     .Synthetic(42)
+//                     .AddQuery({.kind = AggregateKind::kAvg})
+//                     .AddQuery({.kind = AggregateKind::kMax})
+//                     .AddQuery({.kind = AggregateKind::kQuantile,
+//                                .quantile_p = 0.9})
+//                     .Reading(light)
+//                     .Strategy(Strategy::kTributaryDelta)
+//                     .Epochs(60)
+//                     .Run();
+//   // r.queries[i].{name, estimates, truths, rms} per query.
+#ifndef TD_API_QUERY_H_
+#define TD_API_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "agg/query_set.h"
+#include "api/strategy.h"
+#include "util/check.h"
+
+namespace td {
+
+/// One standing query. Fields left at their zero values inherit the
+/// builder-level defaults (Reading / RealReading / SketchBitmaps) or the
+/// aggregate kind's own defaults; see Experiment::Builder::AddQuery.
+struct Query {
+  /// Which aggregate to compute. Every registry kind except
+  /// kFrequentItems (whose result is not a scalar) can join a query set.
+  AggregateKind kind = AggregateKind::kCount;
+
+  /// Display name used in RunResult.queries[]; empty picks
+  /// AggregateKindName(kind).
+  std::string name;
+
+  /// Per-query readings; unset falls back to the builder-level functions
+  /// (a per-query integer Reading also serves as the real reading for
+  /// Min/Max/Quantile, as at the builder level).
+  UintReadingFn reading;
+  RealReadingFn real_reading;
+
+  /// FM sketch bitmaps (Count/Sum/Avg/UniqueCount); 0 inherits
+  /// SketchBitmaps() or the sketch default.
+  int sketch_bitmaps = 0;
+
+  /// Synopsis seed; 0 picks the kind's default. Two same-kind queries with
+  /// default seeds build identical synopses -- give them distinct seeds to
+  /// decorrelate their sketch error.
+  uint64_t sketch_seed = 0;
+
+  /// kQuantile only: which quantile (median by default) and the uniform
+  /// sample capacity (0 -> kDefaultQuantileSampleSize).
+  double quantile_p = 0.5;
+  size_t sample_size = 0;
+
+  /// Per-epoch ground truth override; unset derives the exact truth from
+  /// the kind and reading function.
+  std::function<double(uint32_t)> truth;
+};
+
+namespace api_internal {
+
+/// Hands out the list of sensors that are up (alive and awake) at an
+/// epoch; static experiments return one fixed list (see experiment.cc).
+using SensorListFn =
+    std::function<std::shared_ptr<const std::vector<NodeId>>(uint32_t)>;
+
+/// Fills a query's unset fields from the builder-level defaults and fails
+/// fast (TD_CHECK_MSG) on missing requirements, e.g. a Sum query with no
+/// integer reading anywhere.
+Query ResolveQuery(Query q, const UintReadingFn& builder_reading,
+                   const RealReadingFn& builder_real_reading,
+                   int builder_sketch_bitmaps);
+
+/// Constructs the concrete aggregate a RESOLVED query describes and
+/// invokes `f` with it by value. The one kind-to-constructor dispatch in
+/// the codebase: both the builder's lowered single-aggregate path and
+/// MakeQueryOps go through it, so the two can never drift apart and break
+/// the "Aggregate(kind) is bit-identical to a one-query set" contract.
+/// kFrequentItems (rejected by ResolveQuery) aborts.
+template <typename F>
+auto VisitQueryAggregate(const Query& q, F&& f) {
+  switch (q.kind) {
+    case AggregateKind::kCount:
+      return f(CountAggregate(q.sketch_bitmaps, q.sketch_seed));
+    case AggregateKind::kSum:
+      return f(SumAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+    case AggregateKind::kAvg:
+      return f(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+    case AggregateKind::kMin:
+      return f(ExtremumAggregate(ExtremumAggregate::Kind::kMin,
+                                 q.real_reading));
+    case AggregateKind::kMax:
+      return f(ExtremumAggregate(ExtremumAggregate::Kind::kMax,
+                                 q.real_reading));
+    case AggregateKind::kUniqueCount:
+      return f(UniqueCountAggregate(q.reading, q.sketch_bitmaps,
+                                    q.sketch_seed));
+    case AggregateKind::kQuantile:
+      return f(QuantileAggregate(q.real_reading, q.quantile_p,
+                                 q.sample_size, q.sketch_seed));
+    case AggregateKind::kFrequentItems:
+      break;
+  }
+  internal::CheckFailedMsg(__FILE__, __LINE__, "VisitQueryAggregate",
+                           "aggregate kind has no query-set aggregate");
+}
+
+/// Builds the type-erased ops for one resolved query. The wrapped
+/// aggregate uses the same constructor defaults (seeds, bitmaps) as the
+/// single-aggregate path, so a one-query set is bit-identical to it.
+std::unique_ptr<QueryOps> MakeQueryOps(const Query& q);
+
+/// The exact ground truth a resolved query defaults to, recomputed over
+/// the sensors up at each epoch; null only for callers that override.
+std::function<double(uint32_t)> MakeDefaultQueryTruth(const Query& q,
+                                                      SensorListFn sensors_at);
+
+}  // namespace api_internal
+}  // namespace td
+
+#endif  // TD_API_QUERY_H_

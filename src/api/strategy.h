@@ -57,6 +57,7 @@ enum class AggregateKind {
   kMin,
   kMax,
   kUniqueCount,
+  kQuantile,
   kFrequentItems,
 };
 
@@ -74,6 +75,8 @@ inline const char* AggregateKindName(AggregateKind k) {
       return "Max";
     case AggregateKind::kUniqueCount:
       return "UniqueCount";
+    case AggregateKind::kQuantile:
+      return "Quantile";
     case AggregateKind::kFrequentItems:
       return "FrequentItems";
   }

@@ -18,6 +18,13 @@ namespace internal {
   std::abort();
 }
 
+[[noreturn]] inline void CheckFailedMsg(const char* file, int line,
+                                        const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n  %s\n", file, line, expr,
+               msg);
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace td
 
@@ -29,6 +36,17 @@ namespace internal {
     if (!(cond)) {                                            \
       ::td::internal::CheckFailed(__FILE__, __LINE__, #cond); \
     }                                                         \
+  } while (0)
+
+/// TD_CHECK with a human-oriented diagnostic: use for API-misuse failures
+/// where the bare expression text would not tell the caller what to fix
+/// (e.g. incompatible Experiment::Builder combinations). `msg` is any
+/// expression convertible to `const char*`.
+#define TD_CHECK_MSG(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::td::internal::CheckFailedMsg(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
   } while (0)
 
 #define TD_CHECK_EQ(a, b) TD_CHECK((a) == (b))

@@ -22,6 +22,14 @@ from the threshold but sanity-bounded -- a machine-factor outside
 [1/max-factor, max-factor] fails loudly rather than silently rescaling a
 real regression away.
 
+With --query-amortization BENCH_queries.json the tool instead (or
+additionally) gates the multi-query sweep: for every strategy the
+per-query bytes/epoch must strictly decrease with query-set width, and at
+the widest set the per-query bytes must stay below --amortization-max
+(default 0.6) times the cost of the same queries run independently. These
+are deterministic byte tallies (simulation counters, not timings), so the
+gate is exact and needs no baseline file.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
@@ -31,12 +39,7 @@ import sys
 
 
 def load_metrics(path):
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+    doc = load_doc(path)
     metrics = {}
     for row in doc.get("results", []):
         name = row.get("metric")
@@ -49,10 +52,69 @@ def load_metrics(path):
     return metrics, doc
 
 
+def load_doc(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_query_amortization(path, amortization_max):
+    """Gate BENCH_queries.json: per-query bytes must fall with width, and
+    the widest set must amortize below amortization_max of independent
+    runs. Returns a list of failure strings."""
+    doc = load_doc(path)
+    by_strategy = {}
+    for row in doc.get("results", []):
+        strategy = row.get("strategy")
+        width = row.get("width")
+        per_query = row.get("per_query_bytes")
+        independent = row.get("independent_per_query_bytes")
+        if not isinstance(strategy, str) or not isinstance(width, (int, float)):
+            continue
+        if not isinstance(per_query, (int, float)) or \
+                not isinstance(independent, (int, float)):
+            print(f"check_bench: row for {strategy} width {width} lacks "
+                  f"per_query_bytes/independent_per_query_bytes in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        by_strategy.setdefault(strategy, []).append(
+            (int(width), float(per_query), float(independent)))
+    if not by_strategy:
+        print(f"check_bench: no query-sweep rows in {path}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"query-amortization gate: {path}, "
+          f"widest set must be < {amortization_max:.0%} of independent runs")
+    for strategy, rows in sorted(by_strategy.items()):
+        rows.sort()
+        prev = None
+        for width, per_query, _ in rows:
+            if prev is not None and per_query >= prev:
+                failures.append(
+                    f"{strategy}: per-query bytes rose at width {width} "
+                    f"({prev:.1f} -> {per_query:.1f})")
+            prev = per_query
+        width, per_query, independent = rows[-1]
+        ratio = per_query / independent
+        verdict = "ok" if ratio < amortization_max else "REGRESSED"
+        print(f"  {strategy:<12} width {width}: {per_query:>8.1f} vs "
+              f"{independent:>8.1f} independent  ({ratio:.2f}x)  {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{strategy}: width-{width} per-query bytes are {ratio:.2f}x "
+                f"of independent runs (gate {amortization_max})")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="BENCH_micro.json from this build")
-    parser.add_argument("baseline", help="pinned baseline json")
+    parser.add_argument("current", nargs="?",
+                        help="BENCH_micro.json from this build")
+    parser.add_argument("baseline", nargs="?", help="pinned baseline json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed slowdown fraction (default 0.25)")
     parser.add_argument("--skip", action="append", default=[],
@@ -66,7 +128,28 @@ def main():
     parser.add_argument("--max-machine-factor", type=float, default=4.0,
                         help="sanity bound on the calibration ratio "
                              "(default 4.0)")
+    parser.add_argument("--query-amortization", metavar="JSON", default=None,
+                        help="gate a BENCH_queries.json multi-query sweep "
+                             "(no baseline needed; deterministic counters)")
+    parser.add_argument("--amortization-max", type=float, default=0.6,
+                        help="widest-set per-query bytes must be below this "
+                             "fraction of independent runs (default 0.6)")
     args = parser.parse_args()
+
+    if args.query_amortization:
+        failures = check_query_amortization(args.query_amortization,
+                                            args.amortization_max)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("query-amortization gate: OK")
+        if args.current is None:
+            return
+    if args.current is None or args.baseline is None:
+        parser.error("current and baseline are required unless "
+                     "--query-amortization is given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)

@@ -1,0 +1,145 @@
+// Windowed-aggregation sweep: sliding windows of W in {1, 4, 16, 64}
+// epochs over a three-query dashboard (Max / UniqueCount / Avg), for every
+// strategy.
+//
+// Two invariants are gated here (and re-checked from BENCH_windows.json by
+// tools/check_bench.py --windows in CI):
+//
+//   * Windows are FREE on the radio: bytes/epoch must be bit-identical
+//     across every W -- and identical to the windowless (W = 0 row)
+//     baseline -- because windowing is pure base-station re-merging of
+//     root state the engines already deliver.
+//
+//   * Windows are CHEAP at the base station: the two-stacks sliding
+//     combiner must stay within its amortized bound of 2 state-maintenance
+//     merges per epoch per query, for every W.
+//
+// The windowed RMS column tracks how well the windowed estimate follows
+// the exact windowed truth (re-aggregated from stored per-epoch truth
+// inputs); it is reported for trajectory, not gated, since sketch error is
+// the paper's price for multi-path robustness.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace td;
+
+namespace {
+
+uint64_t LightReading(NodeId node, uint32_t epoch) {
+  return (node * 131 + epoch * 17) % 1024;
+}
+
+uint64_t TempReading(NodeId node, uint32_t epoch) {
+  return 15 + (node * 7 + epoch) % 25;
+}
+
+constexpr uint32_t kWarmup = 20;
+constexpr uint32_t kMeasure = 60;
+constexpr uint64_t kNetSeed = 505;
+constexpr double kLossRate = 0.2;
+constexpr double kMaxMergesPerEpoch = 2.0;
+
+RunResult RunDashboard(const Scenario& sc, Strategy strategy, uint32_t w) {
+  Experiment::Builder b;
+  b.Scenario(&sc)
+      .Strategy(strategy)
+      .GlobalLossRate(kLossRate)
+      .NetworkSeed(kNetSeed)
+      .AdaptPeriod(10)
+      .Warmup(kWarmup)
+      .Epochs(kMeasure);
+  WindowSpec window = w == 0 ? WindowSpec{} : WindowSpec::Sliding(w);
+  b.AddQuery(Query{.kind = AggregateKind::kMax,
+                   .name = "MaxTemp",
+                   .reading = TempReading,
+                   .window = window});
+  b.AddQuery(Query{.kind = AggregateKind::kUniqueCount,
+                   .name = "UniqueTemp",
+                   .reading = TempReading,
+                   .window = window});
+  b.AddQuery(Query{.kind = AggregateKind::kAvg,
+                   .name = "AvgLight",
+                   .reading = LightReading,
+                   .window = window});
+  return b.Run();
+}
+
+}  // namespace
+
+int main() {
+  Scenario sc = MakeSyntheticScenario(/*seed=*/12, /*num_sensors=*/200);
+  const std::vector<uint32_t> widths = {1, 4, 16, 64};
+  const double fed_epochs = static_cast<double>(kWarmup + kMeasure);
+
+  bench::BenchJson json("windows");
+  std::printf(
+      "Sliding-window sweep: %zu sensors, loss %.2f, %u epochs (+%u "
+      "warmup), 3 windowed queries (Max/UniqueCount/Avg)\n\n",
+      sc.num_sensors(), kLossRate, kMeasure, kWarmup);
+  std::printf("%-10s %-6s %-14s %-14s %-12s %-12s %s\n", "strategy", "W",
+              "bytes/epoch", "merges/epoch", "rms(Max)", "rms(Uniq)",
+              "rms(Avg)");
+
+  bool ok = true;
+  for (Strategy strategy : kAllStrategies) {
+    // Windowless baseline: windows must not move a single radio byte.
+    RunResult base = RunDashboard(sc, strategy, 0);
+    json.Entry()
+        .Field("strategy", StrategyName(strategy))
+        .Field("width", 0.0)
+        .Field("bytes_per_epoch", base.bytes_per_epoch)
+        .Field("merges_per_epoch", 0.0);
+    std::printf("%-10s %-6s %-14.1f %-14s %-12s %-12s %s\n",
+                StrategyName(strategy), "-", base.bytes_per_epoch, "-", "-",
+                "-", "-");
+
+    for (uint32_t w : widths) {
+      RunResult r = RunDashboard(sc, strategy, w);
+      double max_merges = 0.0;
+      for (const QuerySeries& q : r.queries) {
+        double m = static_cast<double>(q.window_merges) / fed_epochs;
+        if (m > max_merges) max_merges = m;
+      }
+      std::printf("%-10s %-6u %-14.1f %-14.3f %-12.4f %-12.4f %.4f\n",
+                  StrategyName(strategy), w, r.bytes_per_epoch, max_merges,
+                  r.queries[0].windowed_rms, r.queries[1].windowed_rms,
+                  r.queries[2].windowed_rms);
+      json.Entry()
+          .Field("strategy", StrategyName(strategy))
+          .Field("width", static_cast<double>(w))
+          .Field("bytes_per_epoch", r.bytes_per_epoch)
+          .Field("merges_per_epoch", max_merges)
+          .Field("windowed_rms_max", r.queries[0].windowed_rms)
+          .Field("windowed_rms_unique", r.queries[1].windowed_rms)
+          .Field("windowed_rms_avg", r.queries[2].windowed_rms);
+
+      if (r.bytes_per_epoch != base.bytes_per_epoch) {
+        std::printf("  ^ FAILED: windowed run moved radio bytes (%.6f -> "
+                    "%.6f)\n",
+                    base.bytes_per_epoch, r.bytes_per_epoch);
+        ok = false;
+      }
+      if (max_merges > kMaxMergesPerEpoch) {
+        std::printf("  ^ FAILED: %.3f merges/epoch exceeds the two-stacks "
+                    "bound of %.1f\n",
+                    max_merges, kMaxMergesPerEpoch);
+        ok = false;
+      }
+    }
+    std::printf("\n");
+  }
+
+  json.Write();
+  if (!ok) {
+    std::printf("FAILED: windows must add zero radio bytes and stay within "
+                "the two-stacks merge bound\n");
+    return 1;
+  }
+  std::printf("OK: bytes/epoch flat across W (and equal to the windowless "
+              "baseline) for every strategy; merges/epoch <= %.1f\n",
+              kMaxMergesPerEpoch);
+  return 0;
+}

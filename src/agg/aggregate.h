@@ -107,6 +107,38 @@ inline void FuseConverted(const A& a, typename A::Synopsis* into,
   }
 }
 
+/// Numerator/denominator decomposition of a root state's scalar answer, for
+/// the exponentially-decayed window path (window/): the decayed value is
+/// EWMA(num) / EWMA(den), which for ratio aggregates (Average) decays the
+/// invertible Sum and Count components separately instead of smearing the
+/// ratio. The default is the answer itself over a denominator of 1 (so the
+/// decayed value is a plain EWMA of per-epoch answers); aggregates with a
+/// genuine ratio structure provide an EvaluateWindowComponents member.
+/// Either side pointer may be null when the engine strategy does not
+/// surface it (tree engines have no root synopsis, multi-path engines no
+/// root partial).
+template <Aggregate A>
+  requires std::convertible_to<typename A::Result, double>
+inline void EvaluateWindowComponents(const A& a,
+                                     const typename A::TreePartial* p,
+                                     const typename A::Synopsis* s,
+                                     double* num, double* den) {
+  if constexpr (requires { a.EvaluateWindowComponents(p, s, num, den); }) {
+    a.EvaluateWindowComponents(p, s, num, den);
+  } else {
+    *den = 1.0;
+    if (p != nullptr && s != nullptr) {
+      *num = static_cast<double>(a.EvaluateCombined(*p, *s));
+    } else if (p != nullptr) {
+      *num = static_cast<double>(a.EvaluateTree(*p));
+    } else if (s != nullptr) {
+      *num = static_cast<double>(a.EvaluateSynopsis(*s));
+    } else {
+      *num = 0.0;
+    }
+  }
+}
+
 }  // namespace td
 
 #endif  // TD_AGG_AGGREGATE_H_

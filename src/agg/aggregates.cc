@@ -287,6 +287,22 @@ AverageAggregate::Result AverageAggregate::EvaluateCombined(
   return sum / count;
 }
 
+void AverageAggregate::EvaluateWindowComponents(const TreePartial* p,
+                                                const Synopsis* s,
+                                                double* num,
+                                                double* den) const {
+  *num = 0.0;
+  *den = 0.0;
+  if (p != nullptr) {
+    *num += static_cast<double>(p->sum);
+    *den += static_cast<double>(p->count);
+  }
+  if (s != nullptr) {
+    *num += s->sum_sketch.Estimate();
+    *den += s->count_sketch.Estimate();
+  }
+}
+
 size_t AverageAggregate::TreeBytes(const TreePartial&) const {
   return 2 * sizeof(uint32_t);
 }

@@ -198,6 +198,12 @@ class AverageAggregate {
   Result EvaluateSynopsis(const Synopsis& s) const;
   Result EvaluateCombined(const TreePartial& p, const Synopsis& s) const;
 
+  /// Sum / Count decomposition for the decayed (EWMA) window path: the
+  /// average decays through its invertible components, not the ratio.
+  /// Null sides contribute nothing (see agg/aggregate.h).
+  void EvaluateWindowComponents(const TreePartial* p, const Synopsis* s,
+                                double* num, double* den) const;
+
   size_t TreeBytes(const TreePartial&) const;
   size_t SynopsisBytes(const Synopsis& s) const;
 

@@ -90,8 +90,18 @@ class MultipathAggregator {
     out.contributors = inbox_set[base];
     out.true_contributing = out.contributors.Count();
     out.reported_contributing = inbox_contrib[base].Estimate();
+    if (capture_root_) root_synopsis_ = &inbox[base];
     return out;
   }
+
+  /// Keeps a view of each epoch's fused root synopsis for window
+  /// consumers (window/); base-station bookkeeping only, zero radio bytes.
+  void EnableRootCapture() { capture_root_ = true; }
+
+  /// The last RunEpoch's root synopsis (points into the epoch scratch), or
+  /// nullptr before the first captured epoch. Valid until the next
+  /// RunEpoch.
+  const typename A::Synopsis* root_synopsis() const { return root_synopsis_; }
 
   const Rings& rings() const { return *rings_; }
   const ScratchStats& scratch_stats() const { return scratch_stats_; }
@@ -136,6 +146,8 @@ class MultipathAggregator {
   std::optional<typename A::Synopsis> scratch_syn_;
   FmSketch scratch_contrib_;
   NodeSet scratch_covered_;
+  bool capture_root_ = false;
+  const typename A::Synopsis* root_synopsis_ = nullptr;
 };
 
 }  // namespace td

@@ -75,6 +75,11 @@ class QueryOps {
   virtual double EvaluateCombined(const void* p, const void* s) const = 0;
   virtual size_t TreeBytes(const void* p) const = 0;
   virtual size_t SynopsisBytes(const void* s) const = 0;
+
+  // Numerator/denominator split for the decayed window path (see
+  // agg/aggregate.h's EvaluateWindowComponents); either side may be null.
+  virtual void EvaluateWindowComponents(const void* p, const void* s,
+                                        double* num, double* den) const = 0;
 };
 
 /// QueryOps over any Aggregate whose Result converts to double (every
@@ -151,6 +156,12 @@ class QueryOpsImpl final : public QueryOps {
   }
   size_t SynopsisBytes(const void* s) const override {
     return agg_.SynopsisBytes(*static_cast<const S*>(s));
+  }
+
+  void EvaluateWindowComponents(const void* p, const void* s, double* num,
+                                double* den) const override {
+    td::EvaluateWindowComponents(agg_, static_cast<const P*>(p),
+                                 static_cast<const S*>(s), num, den);
   }
 
   const A& aggregate() const { return agg_; }

@@ -89,7 +89,23 @@ class TreeAggregator {
     out.contributors = inbox_set[root];
     out.true_contributing = out.contributors.Count();
     out.reported_contributing = static_cast<double>(inbox_count[root]);
+    if (capture_root_) {
+      // Base-station bookkeeping for windowed aggregation (window/): the
+      // root partial is kept, never retransmitted, so this adds zero radio
+      // bytes and leaves the epoch's deliveries untouched.
+      root_partial_ = std::move(final_partial);
+    }
     return out;
+  }
+
+  /// Keeps each epoch's root partial for window consumers (off by default;
+  /// the copy is pure base-station work).
+  void EnableRootCapture() { capture_root_ = true; }
+
+  /// The last RunEpoch's root partial, or nullptr before the first
+  /// captured epoch. Valid until the next RunEpoch.
+  const typename A::TreePartial* root_partial() const {
+    return root_partial_ ? &*root_partial_ : nullptr;
   }
 
   const Tree& tree() const { return *tree_; }
@@ -131,6 +147,8 @@ class TreeAggregator {
   std::optional<typename A::TreePartial> scratch_partial_;  // per-node reuse
   NodeSet empty_set_;
   NodeSet scratch_covered_;  // per-node covered-set reuse
+  bool capture_root_ = false;
+  std::optional<typename A::TreePartial> root_partial_;
 };
 
 }  // namespace td

@@ -51,6 +51,27 @@ struct EpochResult {
   /// index-aligned with the query list; `value` repeats the primary
   /// query's entry. Empty for single-aggregate engines.
   std::vector<double> query_values;
+
+  /// Filled by Experiment::StepEpoch (not by engines) when any query in
+  /// the experiment carries a window: one entry per query, index-aligned
+  /// with the query list -- the windowed value for windowed queries, the
+  /// instantaneous answer for windowless ones (a windowless query behaves
+  /// like a width-1 window). Empty when no query is windowed.
+  std::vector<double> windowed_values;
+};
+
+/// Type-erased view of the base station's root aggregate state after one
+/// epoch: the exact tree partial and/or the fused synopsis, as opaque
+/// pointers to the engine aggregate's A::TreePartial / A::Synopsis (for
+/// query-set engines: QuerySetTreePartial / QuerySetSynopsis). Which sides
+/// are non-null is fixed per strategy -- tree engines surface only the
+/// partial, synopsis diffusion only the synopsis, Tributary-Delta both.
+/// Windowed aggregation (window/) re-merges these across epochs; they are
+/// never retransmitted, so capturing them costs zero radio bytes. Valid
+/// until the next RunEpoch.
+struct RootState {
+  const void* tree_partial = nullptr;
+  const void* synopsis = nullptr;
 };
 
 /// Adaptation counters; all zeros for non-adaptive strategies.
@@ -106,6 +127,15 @@ class Engine {
   /// re-read the topology every epoch and need no reaction; adaptive
   /// engines re-derive their cached tree state and resync the region.
   virtual void OnTopologyChanged() {}
+
+  /// Enables per-epoch capture of the base station's root aggregate state
+  /// (for windowed aggregation). Off by default: the tree-engine capture
+  /// copies the root partial once per epoch, so only window consumers pay.
+  virtual void EnableRootCapture() {}
+
+  /// The captured root state of the last RunEpoch; all-null before the
+  /// first captured epoch or when capture is disabled.
+  virtual RootState root_state() const { return {}; }
 
   /// Adaptation counters (zeros when !IsAdaptive(strategy())).
   virtual EngineStats stats() const { return {}; }
@@ -166,6 +196,10 @@ class TreeEngine final : public Engine {
   }
   Strategy strategy() const override { return strategy_; }
   Network& network() const override { return *network_; }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{inner_.root_partial(), nullptr};
+  }
   ScratchStats scratch_stats() const override {
     return inner_.scratch_stats();
   }
@@ -189,6 +223,10 @@ class MultipathEngine final : public Engine {
   }
   Strategy strategy() const override { return Strategy::kSynopsisDiffusion; }
   Network& network() const override { return *network_; }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{nullptr, inner_.root_synopsis()};
+  }
   ScratchStats scratch_stats() const override {
     return inner_.scratch_stats();
   }
@@ -222,6 +260,10 @@ class TributaryDeltaEngine final : public Engine {
   }
   Strategy strategy() const override { return strategy_; }
   Network& network() const override { return *network_; }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{inner_.root_partial(), inner_.root_synopsis()};
+  }
   void OnTopologyChanged() override { inner_.OnTopologyChanged(); }
   EngineStats stats() const override {
     return EngineStats{.expansions = inner_.stats().expansions,

@@ -374,6 +374,44 @@ Experiment Experiment::Builder::Build() {
       install(
           std::make_shared<QuerySetAggregate>(std::move(ops), primary_));
     }
+
+    // Windowed queries: base-station windows over the engine's per-epoch
+    // root state, plus exact windowed-truth re-aggregators. Which root
+    // sides exist is a strategy property: tree engines surface the exact
+    // partial, synopsis diffusion the fused synopsis, Tributary-Delta
+    // both. Capture stays off entirely for windowless experiments.
+    for (const td::Query& q : queries) {
+      if (q.window.windowed()) exp.any_window_ = true;
+    }
+    if (exp.any_window_) {
+      WindowSides sides;
+      sides.tree = strategy_ != td::Strategy::kSynopsisDiffusion;
+      sides.synopsis = strategy_ == td::Strategy::kSynopsisDiffusion ||
+                       IsAdaptive(strategy_);
+      exp.query_set_engine_ = !lowered_single;
+      exp.window_states_.resize(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const td::Query& q = queries[i];
+        if (!q.window.windowed()) continue;
+        Experiment::QueryWindowState& ws = exp.window_states_[i];
+        // A fresh QueryOps instance: every operation a window uses is a
+        // pure function of the resolved query's parameters, so it behaves
+        // bit-identically to the engine's own aggregate.
+        ws.window = std::make_unique<QueryWindow>(
+            api_internal::MakeQueryOps(q), q.window, sides);
+        // A builder-level Truth() overrides the primary query's truth the
+        // same way a per-query truth does: the default kind-derived inputs
+        // could contradict it, so its windowed truth series stays empty.
+        if (i == primary_ && truth_) continue;
+        WindowTruthInputFn inputs =
+            api_internal::MakeWindowTruthInputs(q, sensors_at);
+        if (inputs) {
+          ws.truth = std::make_unique<WindowTruth>(
+              q.kind, q.window, q.quantile_p, std::move(inputs));
+        }
+      }
+      exp.engine_->EnableRootCapture();
+    }
   }
 
   exp.warmup_ = warmup_;
@@ -462,7 +500,39 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
     EpochDynamics d = dynamics_->Advance(epoch, network_.get());
     if (d.topology_changed) engine_->OnTopologyChanged();
   }
-  return engine_->RunEpoch(epoch);
+  EpochResult r = engine_->RunEpoch(epoch);
+  if (any_window_) {
+    // Feed every windowed query its slice of the captured root state; one
+    // window tick per StepEpoch call (warmup included -- standing queries
+    // don't reset their history when measurement starts).
+    const RootState rs = engine_->root_state();
+    const size_t nq = window_states_.size();
+    r.windowed_values.resize(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      QueryWindowState& ws = window_states_[i];
+      if (ws.window == nullptr) {
+        // A windowless query behaves like a width-1 window: report the
+        // instantaneous answer.
+        r.windowed_values[i] =
+            r.query_values.size() == nq ? r.query_values[i] : r.value;
+        continue;
+      }
+      const void* p = rs.tree_partial;
+      const void* s = rs.synopsis;
+      if (query_set_engine_) {
+        // Query-set engines hold one payload per member query.
+        p = p == nullptr
+                ? nullptr
+                : static_cast<const QuerySetTreePartial*>(p)->q[i].get();
+        s = s == nullptr
+                ? nullptr
+                : static_cast<const QuerySetSynopsis*>(s)->q[i].get();
+      }
+      r.windowed_values[i] = ws.window->Observe(p, s);
+      if (ws.truth != nullptr) ws.truths.push_back(ws.truth->Observe(epoch));
+    }
+  }
+  return r;
 }
 
 RunResult Experiment::Run() {
@@ -506,6 +576,27 @@ RunResult Experiment::Run() {
         series.truths.push_back(query_truths_[i](e.epoch));
       }
       series.rms = RelativeRmsError(series.estimates, series.truths);
+    }
+    // Windowed series: the measured tail of each window's value stream
+    // (windows also ran during warmup; those values are discarded along
+    // with the warmup epochs, but the window state they built carries in).
+    for (size_t i = 0; i < window_states_.size(); ++i) {
+      QueryWindowState& ws = window_states_[i];
+      if (ws.window == nullptr) continue;
+      QuerySeries& series = out.queries[i];
+      series.windowed_estimates.reserve(out.epochs.size());
+      for (const EpochResult& e : out.epochs) {
+        TD_DCHECK(e.windowed_values.size() == nq);
+        series.windowed_estimates.push_back(e.windowed_values[i]);
+      }
+      series.window_merges = ws.window->merges();
+      if (ws.truth != nullptr) {
+        TD_DCHECK(ws.truths.size() >= out.epochs.size());
+        series.windowed_truths.assign(ws.truths.end() - out.epochs.size(),
+                                      ws.truths.end());
+        series.windowed_rms = RelativeRmsError(series.windowed_estimates,
+                                               series.windowed_truths);
+      }
     }
     // truth_ aliases the primary query's truth, so the top-level series
     // is a copy, not a second evaluation pass.

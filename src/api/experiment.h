@@ -32,6 +32,8 @@
 #include "freq/precision_gradient.h"
 #include "net/loss_model.h"
 #include "util/stats.h"
+#include "window/query_window.h"
+#include "window/window_truth.h"
 #include "workload/dynamics.h"
 #include "workload/scenario.h"
 
@@ -49,6 +51,22 @@ struct QuerySeries {
 
   /// Relative RMS error of `estimates` vs `truths` (0 when no truth).
   double rms = 0.0;
+
+  /// Windowed queries only (Query::window): the per-measured-epoch value
+  /// of the window (base-station re-merge of per-epoch root states; zero
+  /// radio bytes), the exact windowed ground truth re-aggregated from the
+  /// stored per-epoch truth inputs (empty when the query's truth was
+  /// overridden), and their relative RMS error. Windows run over warmup
+  /// epochs too -- a standing query's history does not reset when
+  /// measurement starts.
+  std::vector<double> windowed_estimates;
+  std::vector<double> windowed_truths;
+  double windowed_rms = 0.0;
+
+  /// Windowed queries only: state-maintenance merges the window performed
+  /// over the whole run (warmup included). Sliding windows stay <= 2 per
+  /// epoch, the two-stacks amortized bound (gated by bench_windows).
+  size_t window_merges = 0;
 };
 
 /// Batch outcome of Experiment::Run: the measured epochs plus the derived
@@ -163,6 +181,20 @@ class Experiment {
   std::vector<std::string> query_names_;
   std::vector<std::function<double(uint32_t)>> query_truths_;
   size_t primary_ = 0;
+
+  // Windowed aggregation (window/): one slot per query when any query
+  // carries a window. StepEpoch feeds every windowed query its slice of
+  // the engine's captured root state and accumulates the windowed truth
+  // series; Run slices the measured tail into QuerySeries.
+  struct QueryWindowState {
+    std::unique_ptr<td::QueryWindow> window;  // null for windowless queries
+    std::unique_ptr<td::WindowTruth> truth;   // null when inputs unknown
+    std::vector<double> truths;               // one entry per StepEpoch
+  };
+  std::vector<QueryWindowState> window_states_;
+  bool any_window_ = false;
+  // True when root state is QuerySet{TreePartial,Synopsis} payload vectors.
+  bool query_set_engine_ = false;
 };
 
 class Experiment::Builder {

@@ -27,6 +27,8 @@ uint64_t DefaultSeed(AggregateKind kind) {
       return 4;
     case AggregateKind::kUniqueCount:
       return 5;
+    case AggregateKind::kEwma:
+      return 6;  // decorrelates from a kAvg query sharing the set
     default:
       return 0;  // Min/Max and FrequentItems take no synopsis seed here
   }
@@ -34,7 +36,8 @@ uint64_t DefaultSeed(AggregateKind kind) {
 
 bool NeedsUintReading(AggregateKind kind) {
   return kind == AggregateKind::kSum || kind == AggregateKind::kAvg ||
-         kind == AggregateKind::kUniqueCount;
+         kind == AggregateKind::kUniqueCount ||
+         kind == AggregateKind::kEwma;
 }
 
 bool NeedsRealReading(AggregateKind kind) {
@@ -82,6 +85,12 @@ Query ResolveQuery(Query q, const UintReadingFn& builder_reading,
                "on the query or on the builder");
   TD_CHECK_MSG(q.quantile_p >= 0.0 && q.quantile_p <= 1.0,
                "Query::quantile_p must lie in [0, 1]");
+  // An EWMA query IS its decayed window; default one in when the caller
+  // didn't pick an explicit shape.
+  if (q.kind == AggregateKind::kEwma && !q.window.windowed()) {
+    q.window = WindowSpec::Decayed(kDefaultEwmaAlpha);
+  }
+  ValidateWindowSpec(q.window, q.kind);
   return q;
 }
 
@@ -109,7 +118,10 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(
         return t;
       };
     }
-    case AggregateKind::kAvg: {
+    case AggregateKind::kAvg:
+    case AggregateKind::kEwma: {
+      // kEwma's instantaneous series is the plain average; the decayed
+      // comparison lives in the windowed series (windowed_truths).
       UintReadingFn reading = q.reading;
       return [sensors_at, reading](uint32_t e) {
         auto up = sensors_at(e);
@@ -152,6 +164,80 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(
         values.reserve(up->size());
         for (NodeId v : *up) values.push_back(real_reading(v, e));
         return Quantile(std::move(values), p);
+      };
+    }
+    case AggregateKind::kFrequentItems:
+      break;
+  }
+  return nullptr;
+}
+
+WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
+                                         SensorListFn sensors_at) {
+  if (q.truth) return nullptr;  // override: default inputs could contradict
+  switch (q.kind) {
+    case AggregateKind::kCount:
+      return [sensors_at](uint32_t e) {
+        WindowTruthInputs in;
+        in.num = static_cast<double>(sensors_at(e)->size());
+        return in;
+      };
+    case AggregateKind::kSum: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        WindowTruthInputs in;
+        for (NodeId v : *sensors_at(e)) {
+          in.num += static_cast<double>(reading(v, e));
+        }
+        return in;
+      };
+    }
+    case AggregateKind::kAvg:
+    case AggregateKind::kEwma: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        WindowTruthInputs in;
+        auto up = sensors_at(e);
+        for (NodeId v : *up) in.num += static_cast<double>(reading(v, e));
+        in.den = static_cast<double>(up->size());
+        return in;
+      };
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      RealReadingFn real_reading = q.real_reading;
+      const bool is_min = q.kind == AggregateKind::kMin;
+      return [sensors_at, real_reading, is_min](uint32_t e) {
+        WindowTruthInputs in;
+        auto up = sensors_at(e);
+        if (up->empty()) return in;  // has_extremum stays false
+        in.num = real_reading(up->front(), e);
+        in.has_extremum = true;
+        for (NodeId v : *up) {
+          double r = real_reading(v, e);
+          in.num = is_min ? std::min(in.num, r) : std::max(in.num, r);
+        }
+        return in;
+      };
+    }
+    case AggregateKind::kUniqueCount: {
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        WindowTruthInputs in;
+        std::set<uint64_t> distinct;
+        for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
+        in.distinct.assign(distinct.begin(), distinct.end());
+        return in;
+      };
+    }
+    case AggregateKind::kQuantile: {
+      RealReadingFn real_reading = q.real_reading;
+      return [sensors_at, real_reading](uint32_t e) {
+        WindowTruthInputs in;
+        auto up = sensors_at(e);
+        in.values.reserve(up->size());
+        for (NodeId v : *up) in.values.push_back(real_reading(v, e));
+        return in;
       };
     }
     case AggregateKind::kFrequentItems:

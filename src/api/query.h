@@ -28,6 +28,8 @@
 #include "agg/query_set.h"
 #include "api/strategy.h"
 #include "util/check.h"
+#include "window/window.h"
+#include "window/window_truth.h"
 
 namespace td {
 
@@ -66,6 +68,25 @@ struct Query {
   /// Per-epoch ground truth override; unset derives the exact truth from
   /// the kind and reading function.
   std::function<double(uint32_t)> truth;
+
+  /// Streaming window over the query's per-epoch answers (window/): the
+  /// base station re-merges each epoch's root partial/synopsis, so a
+  /// windowed query reports BOTH the instantaneous series and a windowed
+  /// series (QuerySeries.windowed_estimates) at zero extra radio bytes.
+  /// Default kNone = instantaneous only; kEwma queries default to
+  /// WindowSpec::Decayed(kDefaultEwmaAlpha).
+  WindowSpec window;
+
+  /// Fluent form for call sites that prefer chaining over designated
+  /// initializers: Query{.kind = kMax}.Window(WindowSpec::Sliding(24)).
+  Query&& Window(WindowSpec spec) && {
+    window = spec;
+    return std::move(*this);
+  }
+  Query& Window(WindowSpec spec) & {
+    window = spec;
+    return *this;
+  }
 };
 
 namespace api_internal {
@@ -97,6 +118,10 @@ auto VisitQueryAggregate(const Query& q, F&& f) {
       return f(SumAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kAvg:
       return f(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+    case AggregateKind::kEwma:
+      // Radio-side an EWMA query IS an average (invertible Sum/Count
+      // pair); the decay happens in the window layer at the base station.
+      return f(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kMin:
       return f(ExtremumAggregate(ExtremumAggregate::Kind::kMin,
                                  q.real_reading));
@@ -125,6 +150,13 @@ std::unique_ptr<QueryOps> MakeQueryOps(const Query& q);
 /// the sensors up at each epoch; null only for callers that override.
 std::function<double(uint32_t)> MakeDefaultQueryTruth(const Query& q,
                                                       SensorListFn sensors_at);
+
+/// Per-epoch exact truth INPUTS of a resolved query, for re-aggregation
+/// into windowed ground truth (window/window_truth.h). Null when the
+/// query's truth was overridden by the caller: the default inputs could
+/// contradict the override, so the windowed truth series stays empty.
+WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
+                                         SensorListFn sensors_at);
 
 }  // namespace api_internal
 }  // namespace td

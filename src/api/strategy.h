@@ -58,6 +58,13 @@ enum class AggregateKind {
   kMax,
   kUniqueCount,
   kQuantile,
+  /// Exponentially decayed average. Radio-side it is exactly kAvg (one
+  /// duplicate-insensitive Sum + Count pair per epoch); the decay happens
+  /// at the base station over the per-epoch sum/count components, so the
+  /// instantaneous series reports the plain average while the windowed
+  /// series reports the EWMA. Without an explicit Query::window it
+  /// defaults to WindowSpec::Decayed(kDefaultEwmaAlpha).
+  kEwma,
   kFrequentItems,
 };
 
@@ -77,6 +84,8 @@ inline const char* AggregateKindName(AggregateKind k) {
       return "UniqueCount";
     case AggregateKind::kQuantile:
       return "Quantile";
+    case AggregateKind::kEwma:
+      return "Ewma";
     case AggregateKind::kFrequentItems:
       return "FrequentItems";
   }

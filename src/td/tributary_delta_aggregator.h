@@ -140,6 +140,18 @@ class TributaryDeltaAggregator {
     last_feedback_ = AdaptationFeedback{};
   }
 
+  /// Keeps each epoch's root state (exact tributary partial + fused delta
+  /// synopsis) for window consumers (window/); off by default.
+  void EnableRootCapture() { capture_root_ = true; }
+
+  /// The last RunEpoch's root state, or nullptr before the first captured
+  /// epoch. The synopsis points into the epoch scratch; both are valid
+  /// until the next RunEpoch.
+  const typename A::TreePartial* root_partial() const {
+    return root_partial_ ? &*root_partial_ : nullptr;
+  }
+  const typename A::Synopsis* root_synopsis() const { return root_synopsis_; }
+
   RegionState& region() { return region_; }
   const RegionState& region() const { return region_; }
   const Stats& stats() const { return stats_; }
@@ -236,6 +248,13 @@ class TributaryDeltaAggregator {
     out.true_contributing = out.contributors.Count();
     out.reported_contributing = static_cast<double>(st.tree_count[base]) +
                                 st.contrib_inbox[base].Estimate();
+    if (capture_root_) {
+      // Base-station bookkeeping for windowed aggregation (window/): keeps
+      // the exact tributary partial and a view of the fused delta synopsis;
+      // zero radio bytes, deliveries untouched.
+      root_partial_ = std::move(base_partial);
+      root_synopsis_ = &st.syn_inbox[base];
+    }
 
     last_feedback_ = AdaptationFeedback{};
     // The user's threshold says AT LEAST 90% of nodes should be accounted
@@ -392,6 +411,9 @@ class TributaryDeltaAggregator {
   AdaptationFeedback last_feedback_;
   std::vector<double> pct_history_;      // last <=3 LCB contributing fracs
   std::vector<double> pct_raw_history_;  // last <=3 raw contributing fracs
+  bool capture_root_ = false;
+  std::optional<typename A::TreePartial> root_partial_;
+  const typename A::Synopsis* root_synopsis_ = nullptr;
 };
 
 }  // namespace td

@@ -1,0 +1,71 @@
+#include "window/query_window.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace td {
+
+QueryWindow::QueryWindow(std::unique_ptr<QueryOps> ops, WindowSpec spec,
+                         WindowSides sides)
+    : ops_(std::move(ops)), spec_(spec), sides_(sides), erased_(ops_.get()) {
+  TD_CHECK(ops_ != nullptr);
+  TD_CHECK(sides.tree || sides.synopsis);
+  switch (spec_.kind) {
+    case WindowKind::kSliding:
+      sliding_.emplace(&erased_, spec_.width, sides_);
+      break;
+    case WindowKind::kTumbling:
+    case WindowKind::kHopping:
+      hopping_.emplace(&erased_, spec_.width, spec_.hop, sides_);
+      break;
+    case WindowKind::kDecayed:
+      break;
+    case WindowKind::kNone:
+      TD_CHECK(false);  // windowless queries never build a QueryWindow
+      break;
+  }
+}
+
+double QueryWindow::Observe(const void* partial, const void* synopsis) {
+  if (spec_.kind == WindowKind::kDecayed) {
+    double num = 0.0;
+    double den = 0.0;
+    ops_->EvaluateWindowComponents(sides_.tree ? partial : nullptr,
+                                   sides_.synopsis ? synopsis : nullptr,
+                                   &num, &den);
+    if (!decay_seeded_) {
+      num_ewma_ = num;
+      den_ewma_ = den;
+      decay_seeded_ = true;
+    } else {
+      num_ewma_ = spec_.alpha * num + (1.0 - spec_.alpha) * num_ewma_;
+      den_ewma_ = spec_.alpha * den + (1.0 - spec_.alpha) * den_ewma_;
+    }
+    return den_ewma_ <= 0.0 ? 0.0 : num_ewma_ / den_ewma_;
+  }
+
+  auto fill = [&](window_internal::WindowState<Erased>& st) {
+    if (sides_.tree && partial != nullptr) {
+      ops_->AssignTreePartial(st.partial.get(), partial);
+    }
+    if (sides_.synopsis && synopsis != nullptr) {
+      ops_->AssignSynopsis(st.synopsis.get(), synopsis);
+    }
+  };
+  if (sliding_) {
+    sliding_->PushWith(fill);
+    return sliding_->Evaluate();
+  }
+  TD_CHECK(hopping_.has_value());
+  hopping_->PushWith(fill);
+  return hopping_->Evaluate();
+}
+
+size_t QueryWindow::merges() const {
+  if (sliding_) return sliding_->merges();
+  if (hopping_) return hopping_->merges();
+  return 0;
+}
+
+}  // namespace td

@@ -1,0 +1,44 @@
+#include "window/window.h"
+
+#include "util/check.h"
+
+namespace td {
+
+void ValidateWindowSpec(const WindowSpec& spec, AggregateKind kind) {
+  switch (spec.kind) {
+    case WindowKind::kNone:
+      return;
+    case WindowKind::kSliding:
+      TD_CHECK_MSG(spec.width > 0,
+                   "window width must be positive: a 0-epoch sliding window "
+                   "aggregates nothing; use width 1 for the instantaneous "
+                   "answer");
+      return;
+    case WindowKind::kTumbling:
+    case WindowKind::kHopping:
+      TD_CHECK_MSG(spec.width > 0,
+                   "window width must be positive: a 0-epoch "
+                   "tumbling/hopping window aggregates nothing");
+      TD_CHECK_MSG(spec.hop > 0,
+                   "window hop must be positive: a 0-epoch hop would open "
+                   "infinitely many windows per epoch");
+      TD_CHECK_MSG(spec.hop <= spec.width,
+                   "window hop must not exceed the window width: epochs in "
+                   "the gap would belong to no window; use a sliding or "
+                   "tumbling window instead");
+      return;
+    case WindowKind::kDecayed:
+      TD_CHECK_MSG(spec.alpha > 0.0 && spec.alpha <= 1.0,
+                   "EWMA alpha must lie in (0, 1]: 0 never updates and "
+                   "values above 1 are not a convex smoothing");
+      TD_CHECK_MSG(KindSupportsDecay(kind),
+                   "EWMA windows need an invertible aggregate "
+                   "(Count/Sum/Avg/Ewma): Max-like aggregates have no "
+                   "inverse, so old extrema can never decay away; use a "
+                   "sliding window instead");
+      return;
+  }
+  TD_CHECK(false);
+}
+
+}  // namespace td

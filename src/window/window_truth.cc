@@ -1,0 +1,113 @@
+#include "window/window_truth.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace td {
+
+WindowTruth::WindowTruth(AggregateKind kind, WindowSpec spec,
+                         double quantile_p, WindowTruthInputFn inputs)
+    : kind_(kind),
+      spec_(spec),
+      quantile_p_(quantile_p),
+      inputs_(std::move(inputs)) {
+  TD_CHECK(spec.windowed());
+  TD_CHECK(inputs_ != nullptr);
+}
+
+double WindowTruth::Observe(uint32_t epoch) {
+  WindowTruthInputs in = inputs_(epoch);
+
+  if (spec_.kind == WindowKind::kDecayed) {
+    if (!decay_seeded_) {
+      num_ewma_ = in.num;
+      den_ewma_ = in.den;
+      decay_seeded_ = true;
+    } else {
+      num_ewma_ = spec_.alpha * in.num + (1.0 - spec_.alpha) * num_ewma_;
+      den_ewma_ = spec_.alpha * in.den + (1.0 - spec_.alpha) * den_ewma_;
+    }
+    if (kind_ == AggregateKind::kAvg || kind_ == AggregateKind::kEwma) {
+      return den_ewma_ <= 0.0 ? 0.0 : num_ewma_ / den_ewma_;
+    }
+    return num_ewma_;
+  }
+
+  history_.push_back(std::move(in));
+  if (history_.size() > spec_.width) history_.pop_front();
+  ++ticks_;
+
+  if (spec_.kind == WindowKind::kSliding) return Combine();
+
+  // Tumbling/hopping: windows [k*hop, k*hop + width) complete at epochs
+  // width-1 + k*hop; at completion the history holds exactly that window.
+  if (ticks_ >= spec_.width && (ticks_ - spec_.width) % spec_.hop == 0) {
+    closed_value_ = Combine();
+    has_closed_ = true;
+  }
+  // Before the first completion, report the running first window.
+  return has_closed_ ? closed_value_ : Combine();
+}
+
+double WindowTruth::Combine() const {
+  TD_CHECK(!history_.empty());
+  switch (kind_) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum: {
+      double t = 0.0;
+      for (const WindowTruthInputs& in : history_) t += in.num;
+      return t;
+    }
+    case AggregateKind::kAvg:
+    case AggregateKind::kEwma: {
+      double num = 0.0;
+      double den = 0.0;
+      for (const WindowTruthInputs& in : history_) {
+        num += in.num;
+        den += in.den;
+      }
+      return den <= 0.0 ? 0.0 : num / den;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      bool seen = false;
+      double t = 0.0;
+      for (const WindowTruthInputs& in : history_) {
+        if (!in.has_extremum) continue;  // epoch with no sensor up
+        if (!seen) {
+          t = in.num;
+          seen = true;
+        } else {
+          t = kind_ == AggregateKind::kMin ? std::min(t, in.num)
+                                           : std::max(t, in.num);
+        }
+      }
+      return t;
+    }
+    case AggregateKind::kUniqueCount: {
+      std::set<uint64_t> pooled;
+      for (const WindowTruthInputs& in : history_) {
+        pooled.insert(in.distinct.begin(), in.distinct.end());
+      }
+      return static_cast<double>(pooled.size());
+    }
+    case AggregateKind::kQuantile: {
+      std::vector<double> pooled;
+      for (const WindowTruthInputs& in : history_) {
+        pooled.insert(pooled.end(), in.values.begin(), in.values.end());
+      }
+      if (pooled.empty()) return 0.0;
+      return Quantile(std::move(pooled), quantile_p_);
+    }
+    case AggregateKind::kFrequentItems:
+      break;
+  }
+  TD_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace td

@@ -1,0 +1,84 @@
+// Windowed ground truth: the exact answer a windowed query should give,
+// re-aggregated from stored per-epoch truth INPUTS (not from per-epoch
+// truth scalars -- a pooled quantile or a distinct count over a window is
+// not a function of the per-epoch answers).
+//
+// Semantics: the pooled multiset. Every (sensor, epoch) reading inside the
+// window counts once, so windowed Count is sensor-epochs heard, windowed
+// Sum/Avg pool all readings, Min/Max take the extremum over the pool,
+// UniqueCount counts distinct values in the pool, Quantile takes the
+// nearest-rank quantile of the pool, and the decayed kinds run the EWMA
+// recursion over per-epoch components. This matches what exact tree
+// aggregation computes over a lossless window; duplicate-INSENSITIVE
+// synopses (FM, min-wise samples) cannot count the same key twice across
+// epochs, so their windowed estimates read as "distinct over the window" --
+// see DESIGN.md "Windowed aggregation" for the trade-off.
+//
+// Shape semantics mirror window/sliding_window.h exactly: sliding
+// re-aggregates the last W epochs every epoch; tumbling/hopping report the
+// most recently completed window (running first window before any
+// completes); decayed folds EWMA(num)/EWMA(den).
+#ifndef TD_WINDOW_WINDOW_TRUTH_H_
+#define TD_WINDOW_WINDOW_TRUTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "window/window.h"
+
+namespace td {
+
+/// One epoch's exact truth inputs for a windowed query. Which fields are
+/// populated depends on the aggregate kind (see window_truth.cc).
+struct WindowTruthInputs {
+  /// Count/Sum/Min/Max: the epoch's exact scalar. Avg/Ewma: the numerator
+  /// (sum of readings).
+  double num = 0.0;
+  /// Min/Max only: false when no sensor was up this epoch, so the epoch
+  /// contributes nothing to the pooled extremum (a 0.0 sentinel would
+  /// poison a window of strictly positive or negative readings).
+  bool has_extremum = false;
+  /// Avg/Ewma: the denominator (number of up sensors).
+  double den = 0.0;
+  /// UniqueCount: the epoch's distinct reading values.
+  std::vector<uint64_t> distinct;
+  /// Quantile: every up sensor's reading this epoch.
+  std::vector<double> values;
+};
+
+using WindowTruthInputFn = std::function<WindowTruthInputs(uint32_t)>;
+
+/// Folds per-epoch truth inputs into the windowed exact answer, mirroring
+/// the estimate-side window shapes. Observe once per epoch, in epoch
+/// order.
+class WindowTruth {
+ public:
+  WindowTruth(AggregateKind kind, WindowSpec spec, double quantile_p,
+              WindowTruthInputFn inputs);
+
+  /// Feeds epoch `epoch`'s inputs and returns the current windowed truth.
+  double Observe(uint32_t epoch);
+
+ private:
+  double Combine() const;  // exact aggregate over history_ (pooled)
+
+  AggregateKind kind_;
+  WindowSpec spec_;
+  double quantile_p_;
+  WindowTruthInputFn inputs_;
+  std::deque<WindowTruthInputs> history_;  // last `width` epochs
+  uint64_t ticks_ = 0;
+  // Hopping/tumbling hold the last completed window's value.
+  double closed_value_ = 0.0;
+  bool has_closed_ = false;
+  // Decayed recursion state.
+  bool decay_seeded_ = false;
+  double num_ewma_ = 0.0;
+  double den_ewma_ = 0.0;
+};
+
+}  // namespace td
+
+#endif  // TD_WINDOW_WINDOW_TRUTH_H_

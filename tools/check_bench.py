@@ -30,6 +30,14 @@ the widest set the per-query bytes must stay below --amortization-max
 are deterministic byte tallies (simulation counters, not timings), so the
 gate is exact and needs no baseline file.
 
+With --windows BENCH_windows.json the tool gates the windowed-aggregation
+sweep: for every strategy the bytes/epoch must be EXACTLY equal across
+every window width (including the windowless width-0 baseline row) --
+windows are pure base-station re-merging and may not move a single radio
+byte -- and the sliding combiner's state-maintenance merges must stay
+within the two-stacks amortized bound of --max-merges-per-epoch (default
+2.0) merges per epoch. Deterministic counters; exact; no baseline file.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
@@ -110,6 +118,56 @@ def check_query_amortization(path, amortization_max):
     return failures
 
 
+def check_windows(path, max_merges):
+    """Gate BENCH_windows.json: bytes/epoch must be bit-identical across
+    window widths (windows add zero radio bytes) and sliding-window merges
+    must respect the two-stacks amortized bound. Returns failure strings."""
+    doc = load_doc(path)
+    by_strategy = {}
+    for row in doc.get("results", []):
+        strategy = row.get("strategy")
+        width = row.get("width")
+        bytes_pe = row.get("bytes_per_epoch")
+        merges = row.get("merges_per_epoch")
+        # Unlike the query sweep, every results row here belongs to the
+        # gate; a malformed row is a json regression, not something to
+        # skip silently (the gate's whole job is catching those).
+        if not isinstance(strategy, str) or \
+                not isinstance(width, (int, float)) or \
+                not isinstance(bytes_pe, (int, float)) or \
+                not isinstance(merges, (int, float)):
+            print(f"check_bench: malformed window-sweep row {row!r} in "
+                  f"{path}", file=sys.stderr)
+            sys.exit(2)
+        by_strategy.setdefault(strategy, []).append(
+            (int(width), float(bytes_pe), float(merges)))
+    if not by_strategy:
+        print(f"check_bench: no window-sweep rows in {path}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"windows gate: {path}, bytes/epoch must be identical across "
+          f"widths, merges/epoch <= {max_merges}")
+    for strategy, rows in sorted(by_strategy.items()):
+        rows.sort()
+        base_bytes = rows[0][1]
+        worst_merges = max(m for _, _, m in rows)
+        flat = all(b == base_bytes for _, b, _ in rows)
+        verdict = "ok" if flat and worst_merges <= max_merges else "REGRESSED"
+        print(f"  {strategy:<12} widths {[w for w, _, _ in rows]}: "
+              f"{base_bytes:.1f} B/epoch, worst {worst_merges:.3f} "
+              f"merges/epoch  {verdict}")
+        if not flat:
+            failures.append(
+                f"{strategy}: bytes/epoch varies with window width "
+                f"({[b for _, b, _ in rows]}) -- windows moved radio bytes")
+        if worst_merges > max_merges:
+            failures.append(
+                f"{strategy}: {worst_merges:.3f} merges/epoch exceeds the "
+                f"two-stacks bound {max_merges}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
@@ -134,9 +192,17 @@ def main():
     parser.add_argument("--amortization-max", type=float, default=0.6,
                         help="widest-set per-query bytes must be below this "
                              "fraction of independent runs (default 0.6)")
+    parser.add_argument("--windows", metavar="JSON", default=None,
+                        help="gate a BENCH_windows.json windowed sweep "
+                             "(no baseline needed; deterministic counters)")
+    parser.add_argument("--max-merges-per-epoch", type=float, default=2.0,
+                        help="two-stacks amortized bound on sliding-window "
+                             "state merges per epoch (default 2.0)")
     args = parser.parse_args()
 
+    ran_gate = False
     if args.query_amortization:
+        ran_gate = True
         failures = check_query_amortization(args.query_amortization,
                                             args.amortization_max)
         if failures:
@@ -145,11 +211,20 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             sys.exit(1)
         print("query-amortization gate: OK")
-        if args.current is None:
-            return
+    if args.windows:
+        ran_gate = True
+        failures = check_windows(args.windows, args.max_merges_per_epoch)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("windows gate: OK")
+    if ran_gate and args.current is None:
+        return
     if args.current is None or args.baseline is None:
         parser.error("current and baseline are required unless "
-                     "--query-amortization is given")
+                     "--query-amortization or --windows is given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)

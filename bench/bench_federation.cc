@@ -1,0 +1,165 @@
+// Federation serving-layer bench: subscription fan-out cost with and
+// without shared-computation dedup.
+//
+// A 4-gateway tree federation over the synthetic deployment answers one
+// standing dashboard query ("p90 light over the last 24 epochs") for S
+// identical subscribers, S in {1, 10, 100, 1000}. In dedup mode the broker
+// collapses all S subscriptions into ONE computation group -- one sliding
+// window instance and one coordinator merge chain per epoch -- so delivery
+// is a scalar copy per subscriber. The naive mode gives every subscriber a
+// private group, honestly modeling per-subscriber recomputation.
+//
+// The bench enforces its own headline gates and exits nonzero on violation;
+// tools/check_bench.py --federation re-checks the emitted
+// BENCH_federation.json in CI:
+//   * dedup factor at S=1000: naive window merges / dedup window merges
+//     >= 100x;
+//   * dedup merge chains per epoch == computation groups, never S;
+//   * dedup window work is constant in S (equal merge counts at S=1 and
+//     S=1000).
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "fed/federated_experiment.h"
+
+using namespace td;
+
+namespace {
+
+constexpr uint32_t kEpochs = 40;
+constexpr uint32_t kWindow = 24;
+constexpr size_t kGateways = 4;
+constexpr uint64_t kNetSeed = 808;
+
+double LightReading(NodeId node, uint32_t epoch) {
+  return static_cast<double>((node * 131 + epoch * 17) % 1024);
+}
+
+struct Row {
+  const char* mode;
+  size_t subscribers;
+  FederatedResult result;
+  double seconds;
+};
+
+Row RunMode(const Scenario& sc, bool dedup, size_t subscribers) {
+  const auto start = std::chrono::steady_clock::now();
+  FederatedResult r =
+      FederatedExperiment::Builder()
+          .Scenario(&sc)
+          .Gateways(kGateways, Strategy::kTag)
+          .AddQuery(Query{.kind = AggregateKind::kQuantile,
+                          .name = "p90Light",
+                          .quantile_p = 0.9})
+          .RealReading(LightReading)
+          .Subscribe({.query = 0, .window = WindowSpec::Sliding(kWindow)},
+                     subscribers)
+          .DedupSubscriptions(dedup)
+          .NetworkSeed(kNetSeed)
+          .Epochs(kEpochs)
+          .Run();
+  const auto end = std::chrono::steady_clock::now();
+  return Row{dedup ? "dedup" : "naive", subscribers, std::move(r),
+             std::chrono::duration<double>(end - start).count()};
+}
+
+size_t TotalWindowMerges(const FederatedResult& r) {
+  size_t merges = 0;
+  for (const SubscriptionBroker::GroupInfo& g : r.groups) {
+    merges += g.window_merges;
+  }
+  return merges;
+}
+
+}  // namespace
+
+int main() {
+  const Scenario sc = MakeSyntheticScenario(/*seed=*/5, /*num_sensors=*/600);
+  const std::vector<size_t> fanouts = {1, 10, 100, 1000};
+
+  bench::BenchJson json("federation");
+  std::printf(
+      "Federation fan-out: %zu sensors, %zu tree gateways, p90 sliding(%u) "
+      "dashboard, %u epochs\n\n",
+      sc.deployment.size() - 1, kGateways, kWindow, kEpochs);
+  std::printf("%-6s %12s %8s %14s %13s %12s %12s %10s\n", "mode",
+              "subscribers", "groups", "window_merges", "chains/epoch",
+              "coord_bytes", "deliveries", "subs/sec");
+
+  std::vector<Row> rows;
+  for (size_t s : fanouts) {
+    for (bool dedup : {true, false}) {
+      Row row = RunMode(sc, dedup, s);
+      const FederatedResult& r = row.result;
+      const size_t window_merges = TotalWindowMerges(r);
+      const double subs_per_sec =
+          row.seconds > 0.0
+              ? static_cast<double>(r.total_deliveries) / row.seconds
+              : 0.0;
+      std::printf("%-6s %12zu %8zu %14zu %13zu %12zu %12zu %10.3g\n",
+                  row.mode, row.subscribers, r.num_groups, window_merges,
+                  r.merge_chains_per_epoch, r.coordinator_merged_bytes,
+                  r.total_deliveries, subs_per_sec);
+      json.Entry()
+          .Field("mode", std::string(row.mode))
+          .Field("subscribers", static_cast<double>(row.subscribers))
+          .Field("groups", static_cast<double>(r.num_groups))
+          .Field("window_instances", static_cast<double>(r.window_instances))
+          .Field("window_merges", static_cast<double>(window_merges))
+          .Field("merge_chains_per_epoch",
+                 static_cast<double>(r.merge_chains_per_epoch))
+          .Field("coordinator_merges",
+                 static_cast<double>(r.coordinator_merges))
+          .Field("coordinator_merged_bytes",
+                 static_cast<double>(r.coordinator_merged_bytes))
+          .Field("total_deliveries", static_cast<double>(r.total_deliveries))
+          .Field("bytes_per_epoch", r.bytes_per_epoch)
+          .Field("subs_per_sec", subs_per_sec)
+          .Field("epochs", static_cast<double>(kEpochs));
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // ------------------------------------------------------ built-in gates
+  auto find = [&](std::string_view mode, size_t subs) -> const Row* {
+    for (const Row& row : rows) {
+      if (row.subscribers == subs && row.mode == mode) return &row;
+    }
+    return nullptr;
+  };
+  const Row* dedup1k = find("dedup", 1000);
+  const Row* naive1k = find("naive", 1000);
+  const Row* dedup1 = find("dedup", 1);
+
+  bool ok = true;
+  const double factor = static_cast<double>(TotalWindowMerges(naive1k->result)) /
+                        static_cast<double>(TotalWindowMerges(dedup1k->result));
+  std::printf("\ndedup factor at 1000 subscribers: %.0fx window merges\n",
+              factor);
+  if (factor < 100.0) {
+    std::printf("GATE FAILED: dedup factor %.1fx < 100x\n", factor);
+    ok = false;
+  }
+  if (dedup1k->result.merge_chains_per_epoch != dedup1k->result.num_groups) {
+    std::printf(
+        "GATE FAILED: dedup merge chains/epoch (%zu) != groups (%zu) -- "
+        "coordinator work must scale with groups, not subscribers\n",
+        dedup1k->result.merge_chains_per_epoch, dedup1k->result.num_groups);
+    ok = false;
+  }
+  if (TotalWindowMerges(dedup1k->result) != TotalWindowMerges(dedup1->result)) {
+    std::printf(
+        "GATE FAILED: dedup window merges vary with subscriber count "
+        "(%zu at S=1000 vs %zu at S=1)\n",
+        TotalWindowMerges(dedup1k->result), TotalWindowMerges(dedup1->result));
+    ok = false;
+  }
+
+  json.Write();
+  if (!ok) return 1;
+  std::printf("all federation gates passed\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// City sensors: a four-district federated deployment behind one
+// coordinator. Each district gateway runs its OWN aggregation strategy
+// over its shard of a 600-sensor city -- the downtown district keeps a
+// lossless Tributary-Delta engine, the industrial district runs plain TAG
+// under mild loss, the harbor runs Synopsis Diffusion through heavy
+// multipath loss, and the suburbs run coarse TD -- and exports its
+// per-epoch root state to the coordinator, which merges them into
+// city-wide answers (fed/federated_experiment.h).
+//
+// The serving layer on top is the SubscriptionBroker: a thousand identical
+// "p90 light over the last 24 epochs" dashboards and four district-scoped
+// distinct-count subscriptions. Dedup collapses the thousand dashboards
+// into ONE computation group -- one sliding window, one merge chain per
+// epoch -- so serving 1004 subscribers costs five groups of work, not
+// 1004.
+#include <cstdio>
+
+#include "fed/federated_experiment.h"
+
+using namespace td;
+
+namespace {
+
+// Synthetic light levels; a small palette so district distinct counts stay
+// readable.
+uint64_t LightLevel(NodeId v, uint32_t e) { return (v * 131 + e * 17) % 64; }
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kEpochs = 60;
+  constexpr size_t kDashboards = 1000;
+  const char* const kDistricts[] = {"downtown", "industrial", "harbor",
+                                    "suburbs"};
+
+  FederatedExperiment fed =
+      FederatedExperiment::Builder()
+          .Synthetic(/*seed=*/17, /*num_sensors=*/600)
+          .AddGateway({.strategy = Strategy::kTributaryDelta})
+          .AddGateway({.strategy = Strategy::kTag,
+                       .loss = std::make_shared<GlobalLoss>(0.05)})
+          .AddGateway({.strategy = Strategy::kSynopsisDiffusion,
+                       .loss = std::make_shared<GlobalLoss>(0.15)})
+          .AddGateway({.strategy = Strategy::kTdCoarse,
+                       .loss = std::make_shared<GlobalLoss>(0.10)})
+          .AddQuery({.kind = AggregateKind::kQuantile,
+                     .name = "p90Light",
+                     .quantile_p = 0.9})
+          .AddQuery({.kind = AggregateKind::kUniqueCount, .name = "distinct"})
+          .Reading(LightLevel)
+          // 1000 identical city-wide dashboards -> one computation group.
+          .Subscribe({.query = 0, .window = WindowSpec::Sliding(24)},
+                     kDashboards)
+          .NetworkSeed(2026)
+          .Epochs(kEpochs)
+          .Build();
+
+  // Four district-scoped subscriptions: "distinct light levels in MY
+  // district". A scoped subscription merges only its gateway's root state,
+  // so each district answer covers exactly that shard's sensors.
+  for (size_t g = 0; g < fed.num_gateways(); ++g) {
+    fed.broker().Subscribe({.query = 1, .gateways = {g}});
+  }
+
+  std::printf("City federation: 600 sensors, 4 district gateways\n");
+  for (size_t g = 0; g < fed.num_gateways(); ++g) {
+    std::printf("  gateway %zu (%-10s): %3zu sensors\n", g, kDistricts[g],
+                fed.shards()[g].size());
+  }
+  std::printf("\n%-7s %-10s %-10s", "epoch", "p90_w24", "city_uniq");
+  for (const char* d : kDistricts) std::printf(" %-11s", d);
+  std::printf("\n");
+
+  for (uint32_t e = 0; e < kEpochs; ++e) {
+    FedEpochResult r = fed.StepEpoch(e);
+    if (e % 6 != 5) continue;
+    // Group 0 is the shared p90 window; groups 1..4 the district counts.
+    std::vector<SubscriptionBroker::GroupInfo> groups = fed.broker().groups();
+    std::printf("%-7u %-10.0f %-10.0f", e, groups[0].values.back(),
+                r.global_values[1]);
+    for (size_t g = 0; g < fed.num_gateways(); ++g) {
+      std::printf(" %-11.0f", groups[1 + g].values.back());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nServing-layer bill: %zu subscribers -> %zu computation groups, "
+      "%zu window\ninstance(s), %zu coordinator merge chain(s) per epoch.\n"
+      "The thousand identical dashboards share one sliding window; each "
+      "district's\ndistinct count merges only its own gateway's root state. "
+      "The coordinator adds\nzero radio bytes -- all merging happens on "
+      "gateway root states it already has.\n",
+      fed.broker().num_subscribers(), fed.broker().num_groups(),
+      fed.broker().window_instances(), fed.broker().last_epoch_merge_chains());
+  return 0;
+}

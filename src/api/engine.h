@@ -64,11 +64,23 @@ struct EpochResult {
 /// epoch: the exact tree partial and/or the fused synopsis, as opaque
 /// pointers to the engine aggregate's A::TreePartial / A::Synopsis (for
 /// query-set engines: QuerySetTreePartial / QuerySetSynopsis). Which sides
-/// are non-null is fixed per strategy -- tree engines surface only the
-/// partial, synopsis diffusion only the synopsis, Tributary-Delta both.
-/// Windowed aggregation (window/) re-merges these across epochs; they are
-/// never retransmitted, so capturing them costs zero radio bytes. Valid
-/// until the next RunEpoch.
+/// are non-null is fixed per strategy (window/query_window.h's
+/// RootStateSides) -- tree engines surface only the partial, synopsis
+/// diffusion only the synopsis, Tributary-Delta both. Valid until the next
+/// RunEpoch; never retransmitted, so capturing costs zero radio bytes.
+///
+/// Two consumers re-merge root states downstream of the engines:
+/// windowed aggregation (window/) merges one engine's states ACROSS
+/// epochs, and the federation tier (src/fed/) merges many gateway
+/// engines' states WITHIN an epoch into a global estimate. Both lean on
+/// the same contract: every registry aggregate's MergeTree / Fuse is
+/// commutative and associative over exactly-representable state (integer
+/// counters, bitwise-OR sketch banks, canonical min-wise samples, min /
+/// max), so re-merging in any grouping or order reproduces the in-network
+/// fold bit-for-bit. The root partial a tree engine exports contains no
+/// base-station reading (the base holds none), which is what lets a
+/// coordinator merge G gateways' roots without double-counting anything.
+/// See DESIGN.md "Hierarchical federation".
 struct RootState {
   const void* tree_partial = nullptr;
   const void* synopsis = nullptr;
@@ -128,13 +140,23 @@ class Engine {
   /// engines re-derive their cached tree state and resync the region.
   virtual void OnTopologyChanged() {}
 
-  /// Enables per-epoch capture of the base station's root aggregate state
-  /// (for windowed aggregation). Off by default: the tree-engine capture
-  /// copies the root partial once per epoch, so only window consumers pay.
+  /// Enables per-epoch capture of the base station's root aggregate state.
+  /// Off by default: the tree-engine capture copies the root partial once
+  /// per epoch, so only consumers pay. Two consumers exist: windowed
+  /// aggregation (src/window/ re-merges the state across epochs) and the
+  /// federation tier (fed/Coordinator merges the states of many gateway
+  /// engines into global answers -- see DESIGN.md "Hierarchical
+  /// federation"). Both ride the state the base station already holds, so
+  /// neither adds radio bytes.
   virtual void EnableRootCapture() {}
 
   /// The captured root state of the last RunEpoch; all-null before the
-  /// first captured epoch or when capture is disabled.
+  /// first captured epoch or when capture is disabled. Which sides are
+  /// populated is a strategy property (RootStateSides): tree partial for
+  /// tree strategies, fused synopsis for synopsis diffusion, both for
+  /// Tributary-Delta. The pointers alias engine-owned scratch valid until
+  /// the next RunEpoch; a root state excludes any base-station
+  /// self-contribution, so cross-engine merging never double-counts.
   virtual RootState root_state() const { return {}; }
 
   /// Adaptation counters (zeros when !IsAdaptive(strategy())).

@@ -384,10 +384,7 @@ Experiment Experiment::Builder::Build() {
       if (q.window.windowed()) exp.any_window_ = true;
     }
     if (exp.any_window_) {
-      WindowSides sides;
-      sides.tree = strategy_ != td::Strategy::kSynopsisDiffusion;
-      sides.synopsis = strategy_ == td::Strategy::kSynopsisDiffusion ||
-                       IsAdaptive(strategy_);
+      const WindowSides sides = RootStateSides(strategy_);
       exp.query_set_engine_ = !lowered_single;
       exp.window_states_.resize(queries.size());
       for (size_t i = 0; i < queries.size(); ++i) {

@@ -1,0 +1,93 @@
+// The federation coordinator: merges per-gateway root states into global
+// per-query estimates using the existing Aggregate concept -- no new
+// algebra, no radio traffic, pure top-tier computation.
+//
+//   sensor --radio--> gateway Engine --root state--> Coordinator --> global
+//
+// Every gateway runs a QuerySetAggregate engine over its shard, so its
+// root state is one payload per query (QuerySetTreePartial /
+// QuerySetSynopsis). The coordinator folds those payloads with the same
+// MergeTree / Fuse the in-network fold used. Correctness rests on the
+// merge-order-invariance contract (DESIGN.md "Hierarchical federation"):
+// registry merges are commutative and associative over exactly-
+// representable state, so regrouping the global fold by gateway -- in any
+// order -- reproduces the single-engine root state bit-for-bit.
+//
+// Mixed-strategy federations merge naturally: tree-strategy gateways
+// contribute exact partials, synopsis-diffusion gateways contribute fused
+// synopses, Tributary-Delta gateways both; evaluation picks EvaluateTree /
+// EvaluateSynopsis / EvaluateCombined by which sides arrived, exactly as
+// the windows layer does.
+#ifndef TD_FED_COORDINATOR_H_
+#define TD_FED_COORDINATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "agg/query_set.h"
+
+namespace td {
+
+/// One gateway's per-epoch root state, as exported by a query-set engine
+/// (Engine::root_state() cast to the query-set payload vectors). A side is
+/// null when the gateway's strategy does not surface it. Pointers stay
+/// valid until the gateway's next RunEpoch -- merge before stepping on.
+struct FedRootState {
+  const QuerySetTreePartial* partial = nullptr;
+  const QuerySetSynopsis* synopsis = nullptr;
+};
+
+/// A merged coordinator-tier state: one payload per query and side.
+/// has_tree / has_synopsis record which sides any merged gateway actually
+/// carried, which is what evaluation (and window feeding) keys off.
+struct FedState {
+  std::vector<qs_internal::PayloadBox<qs_internal::TreePayloadTraits>>
+      partials;
+  std::vector<qs_internal::PayloadBox<qs_internal::SynopsisPayloadTraits>>
+      synopses;
+  bool has_tree = false;
+  bool has_synopsis = false;
+};
+
+/// Merges gateway root states and evaluates global per-query answers.
+/// Owns one QueryOps per query (index-aligned with the federation's query
+/// list) and counts every payload merge and merged payload byte, so
+/// benches can show that coordinator work scales with computation groups,
+/// not subscribers.
+class Coordinator {
+ public:
+  explicit Coordinator(std::vector<std::unique_ptr<QueryOps>> queries);
+
+  size_t num_queries() const { return queries_.size(); }
+  const QueryOps& ops(size_t query) const { return *queries_[query]; }
+
+  /// A fresh empty state (all payloads allocated, no sides live yet).
+  FedState MakeState() const;
+
+  /// state := state (+) root: per-query MergeTree of the partial side and
+  /// Fuse of the synopsis side, whichever the root carries. Gateway roots
+  /// arrive already finalized (FinalizeTreePartial ran at each gateway's
+  /// base), so no further finalize is needed -- registry finalizers only
+  /// stamp the subtree origin, which evaluation ignores.
+  void Merge(FedState* state, const FedRootState& root);
+
+  /// The merged state's answer for `query`, picking the evaluation form
+  /// from the sides that arrived. A never-merged state answers as an empty
+  /// aggregation (EvaluateTree of the empty partial).
+  double Evaluate(const FedState& state, size_t query) const;
+
+  /// Payload merges performed (one per query-side-gateway combine) and
+  /// payload bytes merged, cumulative over the coordinator's lifetime.
+  size_t merges() const { return merges_; }
+  size_t merged_bytes() const { return merged_bytes_; }
+
+ private:
+  std::vector<std::unique_ptr<QueryOps>> queries_;
+  size_t merges_ = 0;
+  size_t merged_bytes_ = 0;
+};
+
+}  // namespace td
+
+#endif  // TD_FED_COORDINATOR_H_

@@ -1,0 +1,131 @@
+#include "fed/sharding.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace td {
+
+ShardPlan PlanSubtreeShards(const Scenario& global, size_t num_gateways) {
+  TD_CHECK_MSG(num_gateways > 0,
+               "a federation needs at least one gateway; use the plain "
+               "Experiment facade for the zero-gateway case");
+  const NodeId base = global.base();
+  const std::vector<size_t> subtree = global.tree.ComputeSubtreeSizes();
+
+  // One unit per base-child subtree, heaviest first (LPT); ties break by
+  // root id so the plan is a pure function of the scenario.
+  std::vector<NodeId> units(global.tree.children(base));
+  TD_CHECK_MSG(num_gateways <= units.size(),
+               "more gateways than base-child subtrees: subtree sharding "
+               "cannot give every gateway a non-empty shard");
+  std::sort(units.begin(), units.end(), [&](NodeId a, NodeId b) {
+    if (subtree[a] != subtree[b]) return subtree[a] > subtree[b];
+    return a < b;
+  });
+
+  ShardPlan plan;
+  plan.shards.resize(num_gateways);
+  std::vector<size_t> load(num_gateways, 0);
+  for (NodeId unit : units) {
+    size_t lightest = 0;
+    for (size_t g = 1; g < num_gateways; ++g) {
+      if (load[g] < load[lightest]) lightest = g;
+    }
+    // Collect the whole subtree rooted at `unit` into the shard.
+    std::vector<NodeId> stack{unit};
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      plan.shards[lightest].push_back(v);
+      for (NodeId c : global.tree.children(v)) stack.push_back(c);
+    }
+    load[lightest] += subtree[unit];
+  }
+  for (std::vector<NodeId>& shard : plan.shards) {
+    std::sort(shard.begin(), shard.end());
+  }
+  return plan;
+}
+
+void ValidateShardPlan(const Scenario& global, const ShardPlan& plan) {
+  TD_CHECK_MSG(!plan.shards.empty(),
+               "a federation needs at least one gateway; use the plain "
+               "Experiment facade for the zero-gateway case");
+  const NodeId base = global.base();
+  std::vector<bool> owned(global.deployment.size(), false);
+  for (const std::vector<NodeId>& shard : plan.shards) {
+    TD_CHECK_MSG(!shard.empty(),
+                 "every gateway shard must contain at least one sensor");
+    for (NodeId v : shard) {
+      TD_CHECK_MSG(v < global.deployment.size() && v != base &&
+                       global.tree.InTree(v),
+                   "shard sensors must be non-base in-tree nodes of the "
+                   "global scenario");
+      TD_CHECK_MSG(!owned[v],
+                   "overlapping shards: a sensor assigned to two gateways "
+                   "would be double-counted at the coordinator");
+      owned[v] = true;
+    }
+  }
+}
+
+namespace {
+
+/// Restricts `full` to members ∪ {base}, preserving the global tree's
+/// parent edges and relative child order (parents are visited before
+/// children, in the global tree's own traversal order).
+Tree RestrictTree(const Tree& full, const std::vector<bool>& member) {
+  Tree out(full.num_nodes(), full.root());
+  std::vector<NodeId> stack{full.root()};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    // Reverse order so the stack pops children in the original order.
+    const std::vector<NodeId>& kids = full.children(v);
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    if (v == full.root()) continue;
+    if (member[v]) out.SetParent(v, full.parent(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario MakeShardScenario(const Scenario& global,
+                           const std::vector<NodeId>& shard) {
+  const NodeId base = global.base();
+  std::vector<bool> member(global.deployment.size(), false);
+  for (NodeId v : shard) {
+    TD_CHECK_MSG(v < global.deployment.size() && v != base,
+                 "shard sensors must be non-base nodes of the deployment");
+    member[v] = true;
+  }
+  // A shard tree must stay connected to the base: every shard sensor's
+  // global parent is either the base or another shard sensor. Subtree
+  // plans guarantee this; explicit shards are checked here.
+  for (NodeId v : shard) {
+    const NodeId p = global.tree.parent(v);
+    TD_CHECK_MSG(p == base || (p != kNoParent && member[p]),
+                 "shard is not a union of base-child subtrees of the "
+                 "global tree: a sensor's parent lies outside the shard");
+  }
+
+  std::vector<bool> active(global.deployment.size(), false);
+  active[base] = true;
+  for (NodeId v : shard) active[v] = true;
+
+  // Copy the whole global scenario (deployment and connectivity keep the
+  // GLOBAL node ids -- the property losslessness rests on), then restrict
+  // the derived topologies to the shard.
+  Scenario sc = global;
+  sc.rings = Rings::Build(sc.connectivity, base, active);
+  sc.tree = RestrictTree(global.tree, member);
+  // Engines aggregate over `tree`; the TAG baseline tree cannot be
+  // restricted along these shard boundaries (its subtrees differ), so the
+  // shard scenario reuses the restricted optimized tree for both slots.
+  sc.tag_tree = sc.tree;
+  return sc;
+}
+
+}  // namespace td

@@ -1,0 +1,61 @@
+// Deployment sharding for hierarchical federation: carving ONE global
+// deployment into per-gateway shards whose union reproduces the global
+// aggregation tree's sensor set exactly.
+//
+// A shard scenario keeps the GLOBAL deployment, connectivity and node ids
+// -- only the tree and rings are restricted to the shard's sensors. Global
+// ids are what make federation lossless: every leaf partial and synopsis
+// insertion a gateway produces is keyed exactly as the single-engine run
+// would key it, so merging gateway root states at the coordinator is the
+// same algebra over the same inputs, just regrouped. Combined with the
+// merge-order-invariance contract of the Aggregate concept (DESIGN.md
+// "Hierarchical federation"), a lossless-tree federated run bit-matches
+// the single-engine global estimate for any shard assignment.
+//
+// The default planner shards by base-child subtree: each child of the base
+// station roots one unit, and units are assigned to gateways by greedy
+// longest-processing-time balancing on subtree size. Subtree units keep
+// every shard tree a connected subtree of the global tree, so the shard
+// trees' edges are literally a partition of the global tree's edges.
+#ifndef TD_FED_SHARDING_H_
+#define TD_FED_SHARDING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace td {
+
+/// One shard per gateway: sorted GLOBAL sensor ids (the base station never
+/// belongs to a shard).
+struct ShardPlan {
+  std::vector<std::vector<NodeId>> shards;
+};
+
+/// Partitions the global tree's sensors into `num_gateways` shards along
+/// base-child subtree boundaries (greedy LPT balancing, deterministic
+/// tie-break by root id). Fails fast when `num_gateways` is zero or
+/// exceeds the number of base-child subtrees.
+ShardPlan PlanSubtreeShards(const Scenario& global, size_t num_gateways);
+
+/// Fails fast (TD_CHECK_MSG) unless the plan is a valid partition: at
+/// least one gateway, every shard non-empty, every shard sensor a
+/// non-base in-tree node of the global scenario, and no sensor in two
+/// shards (an overlapping shard would double-count its readings at the
+/// coordinator).
+void ValidateShardPlan(const Scenario& global, const ShardPlan& plan);
+
+/// Builds gateway `shard`'s scenario: the global deployment and
+/// connectivity (global node ids preserved), with tree / tag_tree
+/// restricted to shard ∪ {base} (keeping the global tree's edges and
+/// child order) and rings re-leveled over the shard's active subgraph.
+/// Sensors outside the shard exist in the deployment but join no ring and
+/// no tree, so they never transmit, never read, and never cost energy on
+/// this gateway's network.
+Scenario MakeShardScenario(const Scenario& global,
+                           const std::vector<NodeId>& shard);
+
+}  // namespace td
+
+#endif  // TD_FED_SHARDING_H_

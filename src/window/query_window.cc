@@ -6,6 +6,14 @@
 
 namespace td {
 
+WindowSides RootStateSides(Strategy strategy) {
+  WindowSides sides;
+  sides.tree = strategy != Strategy::kSynopsisDiffusion;
+  sides.synopsis =
+      strategy == Strategy::kSynopsisDiffusion || IsAdaptive(strategy);
+  return sides;
+}
+
 QueryWindow::QueryWindow(std::unique_ptr<QueryOps> ops, WindowSpec spec,
                          WindowSides sides)
     : ops_(std::move(ops)), spec_(spec), sides_(sides), erased_(ops_.get()) {

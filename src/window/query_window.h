@@ -22,6 +22,15 @@
 #include "window/window.h"
 
 namespace td {
+
+/// Which sides of the root state a strategy surfaces through
+/// Engine::root_state(): tree engines the exact partial, synopsis
+/// diffusion the fused synopsis, Tributary-Delta both. The one
+/// strategy-to-sides mapping in the codebase -- the Experiment facade's
+/// windows and the federation coordinator both consume root states, and
+/// they must agree on which sides exist.
+WindowSides RootStateSides(Strategy strategy);
+
 namespace window_internal {
 
 /// WindowableAggregate over a query's type-erased operations. Payload

@@ -47,6 +47,17 @@ DynamicScenario::DynamicScenario(Scenario* scenario, DynamicsConfig config,
   dead_toggles_.assign(n, {});
   asleep_toggles_.assign(n, {});
 
+  if (config_.scope.empty()) {
+    in_scope_.assign(n, true);
+  } else {
+    in_scope_.assign(n, false);
+    for (NodeId v : config_.scope) {
+      TD_CHECK_LT(v, n);
+      in_scope_[v] = true;
+    }
+    in_scope_[scenario_->base()] = true;
+  }
+
   if (config_.churn) {
     GenerateChurn(Hash64(stream_seed, Hash64(config_.seed, kChurnSalt)));
   }
@@ -86,7 +97,10 @@ void DynamicScenario::GenerateChurn(uint64_t seed) {
   Rng rng(seed);
   const size_t n = scenario_->deployment.size();
   const NodeId base = scenario_->base();
-  const size_t sensors = n - 1;
+  size_t sensors = 0;  // churn candidates (the dead-fraction cap's basis)
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != base && in_scope_[v]) ++sensors;
+  }
   const double rejoin_p = std::clamp(1.0 / churn.mean_downtime, 1e-9, 1.0);
 
   std::vector<bool> down(n, false);
@@ -97,7 +111,7 @@ void DynamicScenario::GenerateChurn(uint64_t seed) {
   // pure function of the seed and config, never of who asks when.
   for (uint32_t e = 0; e < config_.horizon; ++e) {
     for (NodeId v = 0; v < n; ++v) {
-      if (v == base) continue;
+      if (v == base || !in_scope_[v]) continue;
       if (down[v]) {
         if (rejoin_at[v] == e) {
           down[v] = false;
@@ -134,7 +148,7 @@ void DynamicScenario::GenerateDutyCycle() {
 
   const NodeId base = scenario_->base();
   for (NodeId v = 0; v < scenario_->deployment.size(); ++v) {
-    if (v == base) continue;
+    if (v == base || !in_scope_[v]) continue;
     // Hash-staggered cohorts: sleepers are spread evenly across every
     // radio neighborhood (grouping by ring level instead would put whole
     // rings to sleep at once and black out the entire network -- no
@@ -212,8 +226,13 @@ EpochDynamics DynamicScenario::Advance(uint32_t epoch, Network* network) {
     }
   }
   if (churned) {
+    // Repair over the alive AND in-scope subgraph: a scoped (federated
+    // shard) scenario must never absorb out-of-scope nodes into its rings
+    // or tree, alive though they are on some other gateway.
     std::vector<bool> alive(dead_.size());
-    for (size_t i = 0; i < dead_.size(); ++i) alive[i] = !dead_[i];
+    for (size_t i = 0; i < dead_.size(); ++i) {
+      alive[i] = in_scope_[i] && !dead_[i];
+    }
     scenario_->rings =
         Rings::Build(scenario_->connectivity, scenario_->base(), alive);
     TreeRepairResult repair = RepairTree(

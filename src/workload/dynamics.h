@@ -78,6 +78,14 @@ struct DynamicsConfig {
   /// Must be sorted by start_epoch.
   std::vector<LossPhase> loss_schedule;
 
+  /// Sensors the dynamics act on; empty means every non-base node. A
+  /// federated gateway passes its shard here so churn and duty cycling
+  /// only ever touch the gateway's own sensors, and -- just as important --
+  /// so the post-churn ring/tree repair stays confined to the shard: the
+  /// repair rebuilds over the alive AND in-scope subgraph, never pulling a
+  /// neighboring gateway's sensors into this gateway's topology.
+  std::vector<NodeId> scope;
+
   /// Mixed into the stream seed (itself derived from the trial's network
   /// seed), separating dynamics randomness from message-loss randomness.
   uint64_t seed = 0xd15ea5edULL;
@@ -160,6 +168,10 @@ class DynamicScenario {
   // Live state mirrors (index by node id).
   std::vector<bool> dead_;
   std::vector<bool> asleep_;
+
+  // config_.scope as a membership mask (all-true when scope is empty);
+  // the base station is always a member so repairs can anchor on it.
+  std::vector<bool> in_scope_;
 
   // Per-node sorted toggle epochs backing the pure queries: dead (asleep)
   // state at e == odd number of entries <= e.

@@ -38,6 +38,15 @@ byte -- and the sliding combiner's state-maintenance merges must stay
 within the two-stacks amortized bound of --max-merges-per-epoch (default
 2.0) merges per epoch. Deterministic counters; exact; no baseline file.
 
+With --federation BENCH_federation.json the tool gates the serving-layer
+fan-out sweep: at the largest subscriber count the dedup mode must do at
+least --min-dedup-factor (default 100) times fewer window merges than the
+naive per-subscriber-recomputation mode; every dedup row's merge chains
+per epoch must equal its computation-group count (coordinator work scales
+with groups, never subscribers); and the dedup rows' window merges must be
+identical across all subscriber counts. Deterministic counters; exact; no
+baseline file.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
@@ -168,6 +177,68 @@ def check_windows(path, max_merges):
     return failures
 
 
+def check_federation(path, min_factor):
+    """Gate BENCH_federation.json: dedup must beat naive per-subscriber
+    recomputation by min_factor window merges at the largest fan-out,
+    coordinator chains must scale with groups, and dedup window work must
+    be flat in subscriber count. Returns failure strings."""
+    doc = load_doc(path)
+    rows = {}
+    for row in doc.get("results", []):
+        mode = row.get("mode")
+        subs = row.get("subscribers")
+        merges = row.get("window_merges")
+        groups = row.get("groups")
+        chains = row.get("merge_chains_per_epoch")
+        # Every row belongs to the gate; a malformed row is a json
+        # regression, not something to skip silently.
+        if mode not in ("dedup", "naive") or \
+                not isinstance(subs, (int, float)) or \
+                not isinstance(merges, (int, float)) or \
+                not isinstance(groups, (int, float)) or \
+                not isinstance(chains, (int, float)):
+            print(f"check_bench: malformed federation row {row!r} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        rows[(mode, int(subs))] = \
+            (float(merges), float(groups), float(chains))
+    dedup_subs = sorted(s for m, s in rows if m == "dedup")
+    paired = [s for s in dedup_subs if ("naive", s) in rows]
+    if not paired:
+        print(f"check_bench: no dedup/naive row pairs in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    top = max(paired)
+    print(f"federation gate: {path}, dedup factor >= {min_factor:g}x at "
+          f"{top} subscribers, chains/epoch == groups, flat dedup work")
+    for subs in paired:
+        d_merges, d_groups, d_chains = rows[("dedup", subs)]
+        n_merges = rows[("naive", subs)][0]
+        factor = n_merges / d_merges if d_merges > 0 else float("inf")
+        print(f"  S={subs:<6} dedup {d_merges:>8.0f} merges "
+              f"({d_groups:.0f} groups, {d_chains:.0f} chains/epoch) vs "
+              f"naive {n_merges:>8.0f}  ({factor:.0f}x)")
+        if d_chains != d_groups:
+            failures.append(
+                f"S={subs}: dedup merge chains/epoch ({d_chains:.0f}) != "
+                f"groups ({d_groups:.0f}) -- coordinator work scaled with "
+                f"subscribers")
+    top_d = rows[("dedup", top)][0]
+    top_n = rows[("naive", top)][0]
+    factor = top_n / top_d if top_d > 0 else float("inf")
+    if factor < min_factor:
+        failures.append(
+            f"dedup factor at S={top} is {factor:.1f}x < {min_factor:g}x")
+    flat = {rows[("dedup", s)][0] for s in dedup_subs}
+    if len(flat) != 1:
+        failures.append(
+            f"dedup window merges vary with subscriber count ({sorted(flat)})"
+            f" -- shared computation is leaking per-subscriber work")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
@@ -198,6 +269,12 @@ def main():
     parser.add_argument("--max-merges-per-epoch", type=float, default=2.0,
                         help="two-stacks amortized bound on sliding-window "
                              "state merges per epoch (default 2.0)")
+    parser.add_argument("--federation", metavar="JSON", default=None,
+                        help="gate a BENCH_federation.json fan-out sweep "
+                             "(no baseline needed; deterministic counters)")
+    parser.add_argument("--min-dedup-factor", type=float, default=100.0,
+                        help="required window-merge advantage of dedup over "
+                             "naive at the largest fan-out (default 100)")
     args = parser.parse_args()
 
     ran_gate = False
@@ -220,11 +297,21 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             sys.exit(1)
         print("windows gate: OK")
+    if args.federation:
+        ran_gate = True
+        failures = check_federation(args.federation, args.min_dedup_factor)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("federation gate: OK")
     if ran_gate and args.current is None:
         return
     if args.current is None or args.baseline is None:
         parser.error("current and baseline are required unless "
-                     "--query-amortization or --windows is given")
+                     "--query-amortization, --windows or --federation is "
+                     "given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)

@@ -1,0 +1,182 @@
+// Link-layer degradation sweep: hop-count vs ETX routing under the
+// reference fault schedule (link/fault_injector.h), across bounded
+// retransmission budgets, with a route-aging arm on top.
+//
+// Every cell runs the Monte Carlo sweep twice -- once on one thread, once
+// on all cores -- and the bench fails (non-zero exit) if any per-epoch
+// estimate differs: CI runs this as a determinism gate alongside the
+// numbers. Results land in BENCH_linklayer.json and are gated by
+// tools/check_bench.py --linklayer (ETX must strictly beat hop-count on
+// delivery ratio at equal-or-lower radio cost).
+//
+// Usage:
+//   bench_linklayer [--trials=N] [--sensors=N] [--warmup=N] [--epochs=N]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "link/fault_injector.h"
+#include "link/link_layer.h"
+#include "util/table.h"
+
+using namespace td;
+using namespace td::bench;
+
+namespace {
+
+struct CellResult {
+  double delivery_ratio = 0.0;
+  double rms_mean = 0.0;
+  double bytes_per_epoch = 0.0;
+  double attempts_per_epoch = 0.0;
+  double reroutes = 0.0;
+  bool deterministic = false;
+};
+
+SweepResult RunSweep(const Scenario& sc, const LinkLayerConfig& ll,
+                     uint32_t trials, uint32_t warmup, uint32_t epochs,
+                     unsigned threads) {
+  return Experiment::Builder()
+      .Scenario(&sc)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(Strategy::kTag)
+      .LinkLayer(ll)
+      .NetworkSeed(0x11bea11)
+      .Warmup(warmup)
+      .Epochs(epochs)
+      .Trials(trials)
+      .Threads(threads)
+      .RunTrials();
+}
+
+bool SameEstimates(const SweepResult& a, const SweepResult& b) {
+  if (a.trials.size() != b.trials.size()) return false;
+  for (size_t t = 0; t < a.trials.size(); ++t) {
+    const std::vector<EpochResult>& ea = a.trials[t].epochs;
+    const std::vector<EpochResult>& eb = b.trials[t].epochs;
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].value != eb[i].value) return false;
+    }
+    if (a.trials[t].bytes_per_epoch != b.trials[t].bytes_per_epoch ||
+        a.trials[t].delivery_ratio != b.trials[t].delivery_ratio) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CellResult RunCell(const Scenario& sc, const LinkLayerConfig& ll,
+                   uint32_t trials, uint32_t warmup, uint32_t epochs) {
+  SweepResult one = RunSweep(sc, ll, trials, warmup, epochs, 1);
+  SweepResult many = RunSweep(sc, ll, trials, warmup, epochs, 0);
+
+  CellResult cell;
+  cell.deterministic = SameEstimates(one, many);
+  RunningStat dr, rms, bytes, attempts, reroutes;
+  for (const RunResult& r : one.trials) {
+    dr.Add(r.delivery_ratio);
+    rms.Add(r.rms);
+    bytes.Add(r.bytes_per_epoch);
+    attempts.Add(r.attempts_per_epoch);
+    reroutes.Add(static_cast<double>(r.route_reroutes));
+  }
+  cell.delivery_ratio = dr.mean();
+  cell.rms_mean = rms.mean();
+  cell.bytes_per_epoch = bytes.mean();
+  cell.attempts_per_epoch = attempts.mean();
+  cell.reroutes = reroutes.mean();
+  return cell;
+}
+
+uint64_t ParseFlag(std::string_view arg, std::string_view name,
+                   uint64_t fallback) {
+  if (!arg.starts_with(name)) return fallback;
+  return std::strtoull(std::string(arg.substr(name.size())).c_str(),
+                       nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t trials = 3;
+  size_t sensors = 200;
+  uint32_t warmup = 12;
+  uint32_t epochs = 60;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    trials = static_cast<uint32_t>(ParseFlag(arg, "--trials=", trials));
+    sensors = static_cast<size_t>(ParseFlag(arg, "--sensors=", sensors));
+    warmup = static_cast<uint32_t>(ParseFlag(arg, "--warmup=", warmup));
+    epochs = static_cast<uint32_t>(ParseFlag(arg, "--epochs=", epochs));
+  }
+
+  Scenario sc = MakeSyntheticScenario(/*seed=*/42, sensors);
+  std::vector<LinkFault> faults =
+      ReferenceFaultSchedule(sc.deployment, warmup + epochs);
+
+  std::printf(
+      "Link-layer degradation sweep: Count query over TAG trees, %zu "
+      "sensors,\n%u warmup + %u measured epochs, %u trials, reference fault "
+      "schedule\n(quadrant interference -> barrier outage -> quadrant "
+      "degradation).\nEvery cell re-run on all cores and checked "
+      "bit-identical to the\nsingle-thread sweep.\n\n",
+      sensors, warmup, epochs, trials);
+
+  BenchJson json("linklayer");
+  bool all_deterministic = true;
+
+  Table table({"routing", "budget", "delivery", "rms", "bytes/epoch",
+               "attempts/epoch", "reroutes"});
+  for (int budget : {1, 2, 3}) {
+    for (bool etx : {false, true}) {
+      for (bool aging : {false, true}) {
+        if (aging && (!etx || budget != 2)) continue;  // one aging arm
+        LinkLayerConfig ll;
+        ll.etx_parents = etx;
+        ll.retry.max_attempts = budget;
+        ll.faults = faults;
+        if (aging) ll.aging = RouteAgingConfig{};
+        CellResult cell = RunCell(sc, ll, trials, warmup, epochs);
+        all_deterministic = all_deterministic && cell.deterministic;
+        const std::string routing =
+            std::string(etx ? "etx" : "hop") + (aging ? "+aging" : "");
+        if (!cell.deterministic) {
+          std::fprintf(stderr,
+                       "DETERMINISM FAILURE: %s/budget=%d differs between "
+                       "Threads(1) and Threads(N)\n",
+                       routing.c_str(), budget);
+        }
+        table.AddRow({routing, Table::Num(budget, 0),
+                      Table::Num(cell.delivery_ratio, 3),
+                      Table::Num(cell.rms_mean, 3),
+                      Table::Num(cell.bytes_per_epoch, 0),
+                      Table::Num(cell.attempts_per_epoch, 0),
+                      Table::Num(cell.reroutes, 1)});
+        json.Entry()
+            .Field("routing", std::string(etx ? "etx" : "hop"))
+            .Field("budget", static_cast<double>(budget))
+            .Field("aging", aging ? 1.0 : 0.0)
+            .Field("delivery_ratio", cell.delivery_ratio)
+            .Field("rms", cell.rms_mean)
+            .Field("bytes_per_epoch", cell.bytes_per_epoch)
+            .Field("attempts_per_epoch", cell.attempts_per_epoch)
+            .Field("reroutes", cell.reroutes)
+            .Field("deterministic", cell.deterministic ? 1.0 : 0.0);
+      }
+    }
+  }
+  table.PrintAligned(std::cout);
+
+  json.Write();
+  if (!all_deterministic) {
+    std::fprintf(stderr, "\nFAILED: thread-count determinism violated\n");
+    return 1;
+  }
+  std::printf("\nThread-count determinism: OK\n");
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "agg/aggregates.h"
 #include "topology/domination.h"
+#include "topology/tree_builder.h"
 #include "util/check.h"
 #include "util/hash.h"
 #include "util/stats.h"
@@ -135,6 +136,11 @@ Experiment::Builder& Experiment::Builder::Dynamics(DynamicsConfig config) {
   return *this;
 }
 
+Experiment::Builder& Experiment::Builder::LinkLayer(LinkLayerConfig config) {
+  link_layer_ = std::move(config);
+  return *this;
+}
+
 Experiment::Builder& Experiment::Builder::LossModel(
     std::shared_ptr<td::LossModel> model) {
   loss_ = std::move(model);
@@ -217,6 +223,20 @@ Experiment Experiment::Builder::Build() {
                  "NetworkSeed() is incompatible with a shared Network(): "
                  "the shared network already owns its RNG stream");
   }
+  if (link_layer_) {
+    link_layer_->Validate();
+    TD_CHECK_MSG(loss_ == nullptr && !loss_factory_,
+                 "LinkLayer() supplies the loss model (the quality map's "
+                 "per-link PRR); remove LossModel()/GlobalLossRate() and "
+                 "compose extra degradation via LinkLayerConfig.faults");
+    TD_CHECK_MSG(shared_network_ == nullptr,
+                 "LinkLayer() is incompatible with a shared Network(): the "
+                 "retry policy, unicast observer and loss model belong to "
+                 "the experiment's own network");
+    TD_CHECK_MSG(!(link_layer_->aging && dynamics_),
+                 "LinkLayer route aging is incompatible with Dynamics(): "
+                 "churn repair and aging would both rewire the same tree");
+  }
 
   // Scenario.
   TD_CHECK(scenario_source_ != ScenarioSource::kNone);
@@ -236,6 +256,42 @@ Experiment Experiment::Builder::Build() {
       break;
     case ScenarioSource::kNone:
       break;
+  }
+
+  // Link layer: quality-aware topology mutates rings and tree, so the
+  // experiment needs its own scenario copy (cloned before dynamics so both
+  // drive the same copy). The quality map is built against the copy's
+  // deployment and seeded from the config seed alone -- link quality is a
+  // property of the deployment, persistent across Monte Carlo trials.
+  if (link_layer_) {
+    if (exp.owned_scenario_ == nullptr) {
+      exp.owned_scenario_ = std::make_unique<td::Scenario>(*exp.scenario_);
+      exp.scenario_ = exp.owned_scenario_.get();
+    }
+    td::Scenario& mut = *exp.owned_scenario_;
+    const LinkLayerConfig& ll = *link_layer_;
+    exp.link_quality_ = std::make_shared<const LinkQualityMap>(
+        &mut.deployment, &mut.connectivity, ll.quality, ll.seed);
+    const LinkQualityMap& qm = *exp.link_quality_;
+    if (ll.min_ring_prr > 0.0) {
+      mut.rings = Rings::Build(
+          mut.connectivity, mut.deployment.base(),
+          std::vector<bool>(mut.connectivity.num_nodes(), true),
+          [&qm, &ll](NodeId from, NodeId to) {
+            return qm.Prr(from, to) >= ll.min_ring_prr;
+          });
+    }
+    if (ll.etx_parents) {
+      mut.tree = BuildEtxTree(mut.connectivity, mut.rings,
+                              [&qm](NodeId child, NodeId parent) {
+                                return qm.LinkEtx(child, parent);
+                              });
+    } else if (ll.min_ring_prr > 0.0) {
+      // Rings changed under hop-count routing too: rebuild the optimized
+      // tree over them so both sweep arms route over the same rings.
+      Rng rng(Hash64(ll.seed, 0x7ee5eedULL));
+      mut.tree = BuildOptimizedTree(mut.connectivity, mut.rings, &rng);
+    }
   }
 
   // Dynamics: repairs mutate the scenario, so the experiment needs its own
@@ -264,6 +320,16 @@ Experiment Experiment::Builder::Build() {
       TD_CHECK(loss == nullptr);
       loss = loss_factory_(sc);
     }
+    if (link_layer_) {
+      // The quality map's PRR is the loss model; scripted faults overlay
+      // it the same way every other degradation composes: MaxLoss.
+      loss = std::make_shared<LinkQualityLoss>(exp.link_quality_);
+      if (!link_layer_->faults.empty()) {
+        loss = std::make_shared<MaxLoss>(
+            std::move(loss), std::make_shared<LinkFaultInjector>(
+                                 &sc.deployment, link_layer_->faults));
+      }
+    }
     if (loss == nullptr) loss = std::make_shared<GlobalLoss>(0.0);
     if (dynamics_ && dynamics_->bursty) {
       // Gilbert-Elliott bursts overlay the static model; per-trial seed so
@@ -276,6 +342,19 @@ Experiment Experiment::Builder::Build() {
     if (exp.dynamics_) exp.dynamics_->SetBaseLoss(loss);
     exp.network_ = std::make_shared<td::Network>(
         &sc.deployment, &sc.connectivity, std::move(loss), network_seed_);
+  }
+  if (link_layer_) {
+    // Install the retry policy only when it changes anything: a 1-attempt,
+    // ack-free policy leaves DeliverWithRetries on its legacy per-call
+    // budget, keeping the experiment draw-for-draw identical to one
+    // without LinkLayer() (the bit-identity pin in tests/link_test.cc).
+    const RetryPolicy& rp = link_layer_->retry;
+    if (rp.max_attempts > 1 || rp.ack_loss) exp.network_->SetRetryPolicy(rp);
+    if (link_layer_->aging) {
+      exp.route_ager_ = std::make_unique<RouteAger>(
+          *link_layer_->aging, exp.owned_scenario_.get());
+      exp.network_->SetLinkObserver(exp.route_ager_.get());
+    }
   }
 
   // The sensors every default ground truth ranges over.
@@ -498,6 +577,15 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
     if (d.topology_changed) engine_->OnTopologyChanged();
   }
   EpochResult r = engine_->RunEpoch(epoch);
+  if (route_ager_ != nullptr) {
+    const size_t rerouted = route_ager_->EndEpoch(epoch);
+    if (rerouted > 0) {
+      // Re-parenting control traffic, charged to the base station exactly
+      // like the dynamics tier charges its churn repairs.
+      network_->CountTransmission(scenario_->base(), 8 + 2 * rerouted);
+      engine_->OnTopologyChanged();
+    }
+  }
   if (any_window_) {
     // Feed every windowed query its slice of the captured root state; one
     // window tick per StepEpoch call (warmup included -- standing queries
@@ -623,6 +711,12 @@ RunResult Experiment::Run() {
   out.final_delta_size = engine_->delta_size();
   out.stats = engine_->stats();
   if (dynamics_) out.topology_repairs = dynamics_->repairs();
+  const RetryStats& rs = network_->retry_stats();
+  out.delivery_ratio = rs.delivery_ratio();
+  out.attempts_per_epoch =
+      static_cast<double>(rs.attempts) / static_cast<double>(epochs_);
+  out.retry_histogram = rs.by_attempts;
+  if (route_ager_) out.route_reroutes = route_ager_->total_reroutes();
   return out;
 }
 

@@ -30,6 +30,8 @@
 #include "freq/item_source.h"
 #include "freq/multipath_freq.h"
 #include "freq/precision_gradient.h"
+#include "link/link_layer.h"
+#include "link/route_aging.h"
 #include "net/loss_model.h"
 #include "util/stats.h"
 #include "window/query_window.h"
@@ -112,6 +114,22 @@ struct RunResult {
   /// (warmup included); 0 for static runs.
   size_t topology_repairs = 0;
 
+  /// Link-layer unicast accounting over the measured epochs (all zero when
+  /// the strategy sends no unicasts, e.g. pure synopsis diffusion).
+  /// Fraction of logical unicasts whose data reached the receiver within
+  /// the attempt budget.
+  double delivery_ratio = 0.0;
+  /// Physical data transmissions (first sends + retransmissions) per
+  /// measured epoch.
+  double attempts_per_epoch = 0.0;
+  /// retry_histogram[k]: unicasts that used exactly k + 1 data
+  /// transmissions (RetryStats::by_attempts).
+  std::vector<uint64_t> retry_histogram;
+
+  /// Route aging only: nodes re-parented away from blacklisted links over
+  /// the whole run (warmup included); 0 without LinkLayer aging.
+  size_t route_reroutes = 0;
+
   /// The per-epoch numeric estimates, extracted from `epochs`.
   std::vector<double> estimates() const;
 };
@@ -155,6 +173,12 @@ class Experiment {
   /// The dynamic-scenario driver, or nullptr for static experiments.
   DynamicScenario* dynamics() { return dynamics_.get(); }
 
+  /// The link-quality map, or nullptr without LinkLayer().
+  const LinkQualityMap* link_quality() const { return link_quality_.get(); }
+
+  /// The route ager, or nullptr without LinkLayer aging.
+  RouteAger* route_ager() { return route_ager_.get(); }
+
   /// Runs one epoch through the facade: applies the epoch's dynamic events
   /// (when any), notifies the engine of topology repairs, then aggregates.
   /// Stepping call sites must visit epochs in increasing order.
@@ -170,6 +194,8 @@ class Experiment {
   std::unique_ptr<td::Scenario> owned_scenario_;
   const td::Scenario* scenario_ = nullptr;
   std::shared_ptr<td::Network> network_;
+  std::shared_ptr<const td::LinkQualityMap> link_quality_;
+  std::unique_ptr<td::RouteAger> route_ager_;
   std::shared_ptr<void> aggregate_;  // keep-alive for the engine's aggregate
   std::unique_ptr<td::Engine> engine_;
   std::shared_ptr<td::DynamicScenario> dynamics_;
@@ -259,6 +285,18 @@ class Experiment::Builder {
   /// with Warmup() + Epochs().
   Builder& Dynamics(DynamicsConfig config);
 
+  // ------------------------------------------------------------ link layer
+  /// Realistic link layer (src/link/): a persistent per-link quality map
+  /// becomes the network's loss model, optionally steering parent
+  /// selection (ETX routing, PRR ring floor), bounding retransmissions
+  /// (RetryPolicy), aging persistently failing routes, and replaying a
+  /// scripted fault schedule. The quality map is seeded from
+  /// config.seed -- persistent across Monte Carlo trials -- while delivery
+  /// draws keep the per-trial network seed. Supplies the loss model, so it
+  /// excludes LossModel()/GlobalLossRate() and shared Network(); aging is
+  /// additionally incompatible with Dynamics().
+  Builder& LinkLayer(LinkLayerConfig config);
+
   // -------------------------------------------------------------- network
   Builder& LossModel(std::shared_ptr<td::LossModel> model);
   /// Loss model built against the resolved scenario (for RegionalLoss-style
@@ -321,6 +359,7 @@ class Experiment::Builder {
   td::Strategy strategy_ = td::Strategy::kTag;
   EngineOptions options_;
   std::optional<DynamicsConfig> dynamics_;
+  std::optional<LinkLayerConfig> link_layer_;
 
   std::shared_ptr<td::LossModel> loss_;
   std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>

@@ -1,0 +1,113 @@
+#include "link/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace td {
+
+std::vector<LinkFault> KillLinkBothWays(NodeId a, NodeId b,
+                                        uint32_t start_epoch,
+                                        uint32_t end_epoch) {
+  LinkFault fwd;
+  fwd.kind = LinkFault::Kind::kKillLink;
+  fwd.start_epoch = start_epoch;
+  fwd.end_epoch = end_epoch;
+  fwd.src = a;
+  fwd.dst = b;
+  LinkFault rev = fwd;
+  rev.src = b;
+  rev.dst = a;
+  return {fwd, rev};
+}
+
+LinkFaultInjector::LinkFaultInjector(const Deployment* deployment,
+                                     std::vector<LinkFault> faults)
+    : deployment_(deployment), faults_(std::move(faults)) {
+  for (LinkFault& f : faults_) {
+    TD_CHECK_MSG(f.start_epoch < f.end_epoch,
+                 "LinkFault window is empty: start_epoch must be < "
+                 "end_epoch (the window is half-open)");
+    TD_CHECK_MSG(f.loss >= 0.0 && f.loss <= 1.0,
+                 "LinkFault.loss must be a probability in [0, 1]");
+    if (f.kind == LinkFault::Kind::kKillLink ||
+        f.kind == LinkFault::Kind::kKillRegion) {
+      f.loss = 1.0;
+    }
+    if (f.kind == LinkFault::Kind::kKillRegion ||
+        f.kind == LinkFault::Kind::kDegradeRegion) {
+      TD_CHECK_MSG(deployment_ != nullptr,
+                   "region faults need the deployment to resolve sender "
+                   "positions; construct LinkFaultInjector with one");
+    }
+  }
+}
+
+double LinkFaultInjector::LossRate(NodeId src, NodeId dst,
+                                   uint32_t epoch) const {
+  double worst = 0.0;
+  for (const LinkFault& f : faults_) {
+    if (!f.active(epoch)) continue;
+    switch (f.kind) {
+      case LinkFault::Kind::kKillLink:
+      case LinkFault::Kind::kDegradeLink:
+        if (f.src == src && f.dst == dst) worst = std::max(worst, f.loss);
+        break;
+      case LinkFault::Kind::kKillRegion:
+      case LinkFault::Kind::kDegradeRegion:
+        if (f.region.Contains(deployment_->position(src))) {
+          worst = std::max(worst, f.loss);
+        }
+        break;
+    }
+    if (worst >= 1.0) break;  // cannot get worse
+  }
+  return worst;
+}
+
+std::vector<LinkFault> ReferenceFaultSchedule(const Deployment& deployment,
+                                              uint32_t horizon) {
+  TD_CHECK_GE(horizon, 6u);
+  Point lo = deployment.position(0);
+  Point hi = lo;
+  for (const Point& p : deployment.positions()) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const double w = hi.x - lo.x;
+  const double h = hi.y - lo.y;
+  const uint32_t step = horizon / 6;
+
+  std::vector<LinkFault> faults;
+  {
+    LinkFault f;  // north-east quadrant interference
+    f.kind = LinkFault::Kind::kDegradeRegion;
+    f.start_epoch = step;
+    f.end_epoch = 2 * step;
+    f.region = Rect{{lo.x + 0.5 * w, lo.y + 0.5 * h}, hi};
+    f.loss = 0.7;
+    faults.push_back(f);
+  }
+  {
+    LinkFault f;  // vertical barrier outage east of the field's center
+    f.kind = LinkFault::Kind::kKillRegion;
+    f.start_epoch = 3 * step;
+    f.end_epoch = 4 * step;
+    f.region = Rect{{lo.x + 0.55 * w, lo.y}, {lo.x + 0.75 * w, hi.y}};
+    faults.push_back(f);
+  }
+  {
+    LinkFault f;  // south-west quadrant degradation
+    f.kind = LinkFault::Kind::kDegradeRegion;
+    f.start_epoch = 5 * step;
+    f.end_epoch = horizon;
+    f.region = Rect{lo, {lo.x + 0.5 * w, lo.y + 0.5 * h}};
+    f.loss = 0.5;
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+}  // namespace td

@@ -1,0 +1,92 @@
+// Fault injection for graceful-degradation sweeps: kill or degrade named
+// links or whole regions on an epoch schedule.
+//
+// Unlike the stochastic loss models, faults are *scripted*: a reproducible
+// schedule of correlated, topology-coupled outages ("the north-east
+// quadrant goes dark for epochs [40, 70)") that the robustness benches
+// replay identically across strategies and routing modes. The injector is a
+// LossModel -- it reports the worst loss rate of any fault active at the
+// queried epoch, and 0 when none is -- so it composes onto any base model
+// through MaxLoss, exactly like the dynamics tier's loss overlays.
+// LossRate is a pure function of (link, epoch): fault schedules are safe to
+// share read-only across Monte Carlo trial threads.
+#ifndef TD_LINK_FAULT_INJECTOR_H_
+#define TD_LINK_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/deployment.h"
+#include "net/loss_model.h"
+
+namespace td {
+
+struct LinkFault {
+  enum class Kind : uint8_t {
+    kKillLink,      // directed link src->dst drops everything
+    kDegradeLink,   // directed link src->dst loses at rate `loss`
+    kKillRegion,    // every transmission *sent from* `region` drops
+    kDegradeRegion  // transmissions sent from `region` lose at rate `loss`
+  };
+
+  Kind kind = Kind::kKillLink;
+
+  /// Active epoch window [start_epoch, end_epoch).
+  uint32_t start_epoch = 0;
+  uint32_t end_epoch = 0;
+
+  /// Link faults: the directed link. Use two faults for both directions.
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  /// Region faults: matched against the sender's position (the convention
+  /// RegionalLoss established -- a faulted sender's readings drop out of
+  /// tree aggregates).
+  Rect region{};
+
+  /// Loss rate while active; kKill* kinds force 1.0.
+  double loss = 1.0;
+
+  bool active(uint32_t epoch) const {
+    return epoch >= start_epoch && epoch < end_epoch;
+  }
+};
+
+/// Convenience: a kill fault for both directions of an undirected link.
+std::vector<LinkFault> KillLinkBothWays(NodeId a, NodeId b,
+                                        uint32_t start_epoch,
+                                        uint32_t end_epoch);
+
+class LinkFaultInjector : public LossModel {
+ public:
+  /// Validates every fault (window non-empty, loss in [0,1]) and
+  /// normalizes kKill* kinds to loss 1.0. Region faults need `deployment`;
+  /// pure link-fault schedules may pass nullptr.
+  LinkFaultInjector(const Deployment* deployment,
+                    std::vector<LinkFault> faults);
+
+  /// Worst loss rate of any active fault matching src->dst; 0 otherwise.
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+  const std::vector<LinkFault>& faults() const { return faults_; }
+
+ private:
+  const Deployment* deployment_;  // not owned; may be null (no region faults)
+  std::vector<LinkFault> faults_;
+};
+
+/// The reference degradation schedule the robustness bench and its CI gate
+/// replay (bench_linklayer, check_bench.py --linklayer), scaled to the
+/// deployment's bounding box over a `horizon`-epoch run:
+///   * phase 1 [h/6, 2h/6):  the quadrant around the field's north-east
+///     corner degrades to 70% loss (correlated regional interference);
+///   * phase 2 [3h/6, 4h/6): a vertical band east of the field's center
+///     goes dark entirely (a barrier outage routes must detour around;
+///     the band avoids the base station, which sits at the center);
+///   * phase 3 [5h/6, h):    the south-west quadrant degrades to 50% loss.
+std::vector<LinkFault> ReferenceFaultSchedule(const Deployment& deployment,
+                                              uint32_t horizon);
+
+}  // namespace td
+
+#endif  // TD_LINK_FAULT_INJECTOR_H_

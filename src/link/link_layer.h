@@ -1,0 +1,68 @@
+// The one-stop link-layer recipe Experiment::Builder::LinkLayer consumes:
+// quality map parameters, quality-aware topology knobs, the retransmission
+// policy, optional route aging, and a scripted fault schedule. See
+// DESIGN.md "Link layer" for how the pieces wire together.
+#ifndef TD_LINK_LINK_LAYER_H_
+#define TD_LINK_LINK_LAYER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "link/fault_injector.h"
+#include "link/link_quality.h"
+#include "link/retry_policy.h"
+#include "link/route_aging.h"
+#include "util/check.h"
+
+namespace td {
+
+struct LinkLayerConfig {
+  /// Per-link PRR model (distance curve + shadowing).
+  LinkQualityParams quality;
+
+  /// Quality-aware parent selection: rebuild the scenario tree with
+  /// topology/tree_builder's BuildEtxTree (rank first, minimum-ETX parent
+  /// among upstream candidates). False keeps hop-count routing -- the
+  /// baseline arm of the robustness sweeps.
+  bool etx_parents = false;
+
+  /// When > 0, links with forward PRR below this floor are excluded from
+  /// ring construction (and therefore, via the Section 4.1 subset
+  /// constraint, from every tree). The tree is rebuilt over the filtered
+  /// rings: BuildEtxTree when etx_parents, BuildOptimizedTree (seeded from
+  /// `seed`) otherwise, so both sweep arms route over the same rings.
+  double min_ring_prr = 0.0;
+
+  /// Bounded retransmission. max_attempts == 1 with ack_loss off installs
+  /// NO policy: DeliverWithRetries keeps its legacy per-call budget and the
+  /// experiment is draw-for-draw identical to one without LinkLayer().
+  RetryPolicy retry;
+
+  /// Blacklist persistently failing tree links and re-parent around them.
+  /// Incompatible with Dynamics() (both repair the same tree).
+  std::optional<RouteAgingConfig> aging;
+
+  /// Scripted faults, composed onto the quality-derived loss via MaxLoss
+  /// (see link/fault_injector.h; ReferenceFaultSchedule for the bench's
+  /// standard degradation timeline).
+  std::vector<LinkFault> faults;
+
+  /// Seed for the shadowing draw (and the hop-baseline tree rebuild).
+  /// Deliberately NOT the per-trial network seed: link quality is a
+  /// property of the deployment, persistent across Monte Carlo trials.
+  uint64_t seed = 0x11bea11ULL;
+
+  /// Fail-fast validation of every member; called by the Builder.
+  void Validate() const {
+    quality.Validate();
+    retry.Validate();
+    if (aging) aging->Validate();
+    TD_CHECK_MSG(min_ring_prr >= 0.0 && min_ring_prr <= 1.0,
+                 "LinkLayerConfig.min_ring_prr is a PRR floor in [0, 1]");
+  }
+};
+
+}  // namespace td
+
+#endif  // TD_LINK_LINK_LAYER_H_

@@ -1,0 +1,103 @@
+#include "link/link_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace td {
+
+namespace {
+
+// Domain-separation salt for shadowing draws (vs every other Hash64 user).
+constexpr uint64_t kShadowSalt = 0x5ad0f4deULL;
+
+uint64_t LinkKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+void LinkQualityParams::Validate() const {
+  TD_CHECK_MSG(radio_range > 0.0,
+               "LinkQualityParams.radio_range must be > 0");
+  TD_CHECK_MSG(prr_max > 0.0 && prr_max <= 1.0,
+               "LinkQualityParams.prr_max must be in (0, 1]");
+  TD_CHECK_MSG(prr_min > 0.0 && prr_min <= prr_max,
+               "LinkQualityParams.prr_min must be in (0, prr_max]: a "
+               "zero-PRR link is not a link");
+  TD_CHECK_MSG(prr_at_range > 0.0 && prr_at_range <= prr_max,
+               "LinkQualityParams.prr_at_range must be in (0, prr_max]");
+  TD_CHECK_MSG(gamma > 0.0, "LinkQualityParams.gamma must be > 0");
+  TD_CHECK_MSG(shadowing >= 0.0 && shadowing < 1.0,
+               "LinkQualityParams.shadowing must be in [0, 1)");
+}
+
+LinkQualityMap::LinkQualityMap(const Deployment* deployment,
+                               const Connectivity* connectivity,
+                               LinkQualityParams params, uint64_t seed)
+    : params_(params), seed_(seed) {
+  TD_CHECK(deployment != nullptr);
+  TD_CHECK(connectivity != nullptr);
+  TD_CHECK_EQ(deployment->size(), connectivity->num_nodes());
+  params_.Validate();
+
+  const size_t n = connectivity->num_nodes();
+  keys_.reserve(2 * connectivity->num_links());
+  prr_.reserve(2 * connectivity->num_links());
+  // Node-major over sorted neighbor lists: keys_ comes out sorted without a
+  // separate sort pass, and the build order never affects any value (every
+  // PRR is a pure function of geometry, the link, and the seed).
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst : connectivity->Neighbors(src)) {
+      const double d = Distance(deployment->position(src),
+                                deployment->position(dst));
+      const double ratio = std::min(d / params_.radio_range, 1.0);
+      double prr = params_.prr_max -
+                   (params_.prr_max - params_.prr_at_range) *
+                       std::pow(ratio, params_.gamma);
+      if (params_.shadowing > 0.0) {
+        // One persistent fade per link; for symmetric quality the draw keys
+        // on the undirected pair so both directions agree.
+        const uint64_t link =
+            params_.symmetric
+                ? LinkKey(std::min(src, dst), std::max(src, dst))
+                : LinkKey(src, dst);
+        const double u = HashToUnit(Hash64(link, Hash64(seed_, kShadowSalt)));
+        prr += params_.shadowing * (2.0 * u - 1.0);
+      }
+      prr = std::clamp(prr, params_.prr_min, params_.prr_max);
+      keys_.push_back(LinkKey(src, dst));
+      prr_.push_back(prr);
+    }
+  }
+  TD_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+}
+
+double LinkQualityMap::Prr(NodeId src, NodeId dst) const {
+  const uint64_t key = LinkKey(src, dst);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return 0.0;
+  return prr_[static_cast<size_t>(it - keys_.begin())];
+}
+
+double LinkQualityMap::LinkEtx(NodeId u, NodeId v) const {
+  const double fwd = Prr(u, v);
+  const double rev = Prr(v, u);
+  if (fwd <= 0.0 || rev <= 0.0) return kNoLink;
+  return 1.0 / (fwd * rev);
+}
+
+LinkQualityLoss::LinkQualityLoss(
+    std::shared_ptr<const LinkQualityMap> quality)
+    : quality_(std::move(quality)) {
+  TD_CHECK(quality_ != nullptr);
+}
+
+double LinkQualityLoss::LossRate(NodeId src, NodeId dst,
+                                 uint32_t /*epoch*/) const {
+  return quality_->LossRate(src, dst);
+}
+
+}  // namespace td

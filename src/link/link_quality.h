@@ -1,0 +1,113 @@
+// Persistent per-link quality derived from deployment geometry.
+//
+// Real sensor links are not interchangeable: packet reception ratio (PRR)
+// falls off with distance and varies link-to-link with multipath shadowing
+// that is stable over deployment timescales. The LinkQualityMap gives every
+// directed neighbor pair a persistent PRR: a deterministic distance curve
+// (prr_max near the sender decaying toward prr_min at radio range) times a
+// per-link shadowing perturbation drawn by hashing the link under one seed.
+// The map is immutable after construction and every query is a pure lookup,
+// so Monte Carlo trial threads share one instance read-only -- the same
+// purity contract GilbertElliottLoss honors for its chain state.
+//
+// From PRR follows ETX, the expected transmission count of reliable
+// delivery over the link (data forward, ack backward):
+//   ETX(u, v) = 1 / (PRR(u->v) * PRR(v->u))
+// which is what quality-aware parent selection minimizes (see
+// topology/tree_builder's BuildEtxTree and the runicast rank+quality parent
+// choice in SNIPPETS.md).
+#ifndef TD_LINK_LINK_QUALITY_H_
+#define TD_LINK_LINK_QUALITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/connectivity.h"
+#include "net/deployment.h"
+#include "net/loss_model.h"
+
+namespace td {
+
+struct LinkQualityParams {
+  /// Radio range the distance curve decays over; should match the range
+  /// connectivity was built with.
+  double radio_range = 3.0;
+
+  /// PRR of a zero-length link before shadowing.
+  double prr_max = 0.98;
+
+  /// Floor no link falls below (links worse than this would not have made
+  /// it into the connectivity graph's neighbor lists at all).
+  double prr_min = 0.10;
+
+  /// PRR at exactly radio range before shadowing.
+  double prr_at_range = 0.50;
+
+  /// Distance-curve exponent: PRR decays with (d / range)^gamma.
+  double gamma = 2.0;
+
+  /// Half-width of the per-link shadowing perturbation, added uniformly in
+  /// [-shadowing, +shadowing] to the distance curve. 0 disables fading.
+  double shadowing = 0.15;
+
+  /// Draw one fade per undirected link (both directions equal) instead of
+  /// one per direction.
+  bool symmetric = false;
+
+  /// Fail-fast validation; called by the LinkQualityMap constructor.
+  void Validate() const;
+};
+
+/// Immutable per-directed-link PRR table over a connectivity graph's
+/// neighbor pairs, stored as a flat sorted index (binary-search lookup, no
+/// per-query allocation). Thread-safe after construction.
+class LinkQualityMap {
+ public:
+  LinkQualityMap(const Deployment* deployment,
+                 const Connectivity* connectivity, LinkQualityParams params,
+                 uint64_t seed);
+
+  /// Packet reception ratio of the directed link src->dst; 0 for pairs
+  /// that are not neighbors.
+  double Prr(NodeId src, NodeId dst) const;
+
+  /// Loss probability of the directed link: 1 - Prr.
+  double LossRate(NodeId src, NodeId dst) const { return 1.0 - Prr(src, dst); }
+
+  /// Expected transmissions for reliable delivery over the undirected link
+  /// (data forward, ack backward): 1 / (Prr(u,v) * Prr(v,u)). Infinity-free:
+  /// non-neighbor pairs return kNoLink.
+  double LinkEtx(NodeId u, NodeId v) const;
+
+  /// LinkEtx sentinel for pairs with no usable link.
+  static constexpr double kNoLink = 1e18;
+
+  const LinkQualityParams& params() const { return params_; }
+  uint64_t seed() const { return seed_; }
+  size_t num_links() const { return keys_.size(); }
+
+ private:
+  LinkQualityParams params_;
+  uint64_t seed_;
+  // Parallel sorted arrays: keys_[i] = (src << 32) | dst.
+  std::vector<uint64_t> keys_;
+  std::vector<double> prr_;
+};
+
+/// LossModel adapter: feeds the map's quality-derived loss rates into
+/// Network as its (epoch-independent) base loss. With retries disabled this
+/// is bit-identical to a PerLinkLoss holding the same rates -- the
+/// acceptance pin in tests/link_test.cc.
+class LinkQualityLoss : public LossModel {
+ public:
+  explicit LinkQualityLoss(std::shared_ptr<const LinkQualityMap> quality);
+  double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
+
+ private:
+  std::shared_ptr<const LinkQualityMap> quality_;
+};
+
+}  // namespace td
+
+#endif  // TD_LINK_LINK_QUALITY_H_

@@ -1,0 +1,67 @@
+// Bounded-retransmission policy for unicast delivery (the runicast
+// MAX_RETRANSMISSIONS contract from the Contiki-style stacks in
+// SNIPPETS.md, adapted to the epoch-slotted simulator).
+//
+// A RetryPolicy installed on a Network (Network::SetRetryPolicy) governs
+// every DeliverWithRetries call: the sender gets up to `max_attempts` data
+// transmissions per logical unicast, separated by `backoff_slots` idle
+// slots, and all attempts must fit inside the epoch's `slots_per_epoch`
+// slot budget -- an aggregation epoch is a fixed communication window, so a
+// large retry budget with a large backoff silently truncates to what the
+// window can hold (EffectiveAttempts). Optionally the receiver's
+// acknowledgement travels the reverse link and can itself be lost
+// (`ack_loss`), forcing a spurious retransmission of data the receiver
+// already holds; receivers de-duplicate, so a lost ack costs energy and
+// attempts but never corrupts the aggregate.
+#ifndef TD_LINK_RETRY_POLICY_H_
+#define TD_LINK_RETRY_POLICY_H_
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace td {
+
+struct RetryPolicy {
+  /// Total data transmissions allowed per unicast, the first included
+  /// (runicast's MAX_RETRANSMISSIONS + 1). 1 disables retries.
+  int max_attempts = 1;
+
+  /// Idle slots between consecutive attempts (linear backoff).
+  int backoff_slots = 0;
+
+  /// Communication slots one epoch offers a sender; attempts that do not
+  /// fit are forfeited (EffectiveAttempts).
+  int slots_per_epoch = 8;
+
+  /// Model acknowledgement loss on the reverse link: a delivered packet
+  /// whose ack is lost is retransmitted (and de-duplicated at the
+  /// receiver), charging `ack_bytes` per ack actually sent.
+  bool ack_loss = false;
+  size_t ack_bytes = 8;
+
+  /// Fail-fast parameter validation; called by Network::SetRetryPolicy.
+  void Validate() const {
+    TD_CHECK_MSG(max_attempts >= 1,
+                 "RetryPolicy.max_attempts must be >= 1: a zero-attempt "
+                 "budget means no message is ever sent");
+    TD_CHECK_MSG(backoff_slots >= 0,
+                 "RetryPolicy.backoff_slots must be >= 0");
+    TD_CHECK_MSG(slots_per_epoch >= 1,
+                 "RetryPolicy.slots_per_epoch must be >= 1: an epoch with "
+                 "no communication slots cannot carry any attempt");
+  }
+
+  /// Attempts that actually fit in the epoch window: attempt k occupies
+  /// slot k * (1 + backoff_slots), so the count is capped at
+  /// ceil(slots_per_epoch / (1 + backoff_slots)).
+  int EffectiveAttempts() const {
+    const int stride = 1 + backoff_slots;
+    const int fit = (slots_per_epoch + stride - 1) / stride;
+    return max_attempts < fit ? max_attempts : fit;
+  }
+};
+
+}  // namespace td
+
+#endif  // TD_LINK_RETRY_POLICY_H_

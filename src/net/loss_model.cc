@@ -12,9 +12,24 @@ namespace {
 
 double ClampRate(double p) { return std::clamp(p, 0.0, 1.0); }
 
+// Fail-fast parameter validation: a loss rate outside [0, 1] is a caller
+// bug (a silently clamped 1.7 "loss rate" would misreport every robustness
+// sweep built on it), so constructors abort instead of clamping. Clamping
+// remains only for *computed* rates (DistanceLoss's curve).
+double CheckRate(double p, const char* what) {
+  TD_CHECK_MSG(p >= 0.0 && p <= 1.0, what);
+  return p;
+}
+
+constexpr char kRateMsg[] = "loss rates are probabilities in [0, 1]";
+
+uint64_t PackLink(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
 }  // namespace
 
-GlobalLoss::GlobalLoss(double p) : p_(ClampRate(p)) {}
+GlobalLoss::GlobalLoss(double p) : p_(CheckRate(p, kRateMsg)) {}
 
 double GlobalLoss::LossRate(NodeId /*src*/, NodeId /*dst*/,
                             uint32_t /*epoch*/) const {
@@ -25,8 +40,8 @@ RegionalLoss::RegionalLoss(const Deployment* deployment, Rect region,
                            double p_in, double p_out)
     : deployment_(deployment),
       region_(region),
-      p_in_(ClampRate(p_in)),
-      p_out_(ClampRate(p_out)) {
+      p_in_(CheckRate(p_in, kRateMsg)),
+      p_out_(CheckRate(p_out, kRateMsg)) {
   TD_CHECK(deployment != nullptr);
 }
 
@@ -36,10 +51,19 @@ double RegionalLoss::LossRate(NodeId src, NodeId /*dst*/,
 }
 
 PerLinkLoss::PerLinkLoss(double default_rate)
-    : default_rate_(ClampRate(default_rate)) {}
+    : default_rate_(CheckRate(default_rate, kRateMsg)) {}
 
 void PerLinkLoss::SetLink(NodeId src, NodeId dst, double rate) {
-  rates_[{src, dst}] = ClampRate(rate);
+  CheckRate(rate, kRateMsg);
+  const uint64_t key = PackLink(src, dst);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  const size_t idx = static_cast<size_t>(it - keys_.begin());
+  if (it != keys_.end() && *it == key) {
+    rates_[idx] = rate;
+  } else {
+    keys_.insert(it, key);
+    rates_.insert(rates_.begin() + static_cast<ptrdiff_t>(idx), rate);
+  }
 }
 
 void PerLinkLoss::SetLinkSymmetric(NodeId a, NodeId b, double rate) {
@@ -49,8 +73,10 @@ void PerLinkLoss::SetLinkSymmetric(NodeId a, NodeId b, double rate) {
 
 double PerLinkLoss::LossRate(NodeId src, NodeId dst,
                              uint32_t /*epoch*/) const {
-  auto it = rates_.find({src, dst});
-  return it == rates_.end() ? default_rate_ : it->second;
+  const uint64_t key = PackLink(src, dst);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return default_rate_;
+  return rates_[static_cast<size_t>(it - keys_.begin())];
 }
 
 DistanceLoss::DistanceLoss(const Deployment* deployment, double range,
@@ -62,6 +88,7 @@ DistanceLoss::DistanceLoss(const Deployment* deployment, double range,
       gamma_(gamma) {
   TD_CHECK(deployment != nullptr);
   TD_CHECK_GT(range, 0.0);
+  CheckRate(floor_rate, kRateMsg);
 }
 
 double DistanceLoss::LossRate(NodeId src, NodeId dst,
@@ -73,10 +100,15 @@ double DistanceLoss::LossRate(NodeId src, NodeId dst,
 TimeVaryingLoss::TimeVaryingLoss(
     std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>> phases)
     : phases_(std::move(phases)) {
-  TD_CHECK(!phases_.empty());
-  TD_CHECK_EQ(phases_.front().first, 0u);
+  TD_CHECK_MSG(!phases_.empty(), "TimeVaryingLoss needs at least one phase");
+  TD_CHECK_MSG(phases_.front().first == 0u,
+               "TimeVaryingLoss phases must begin at epoch 0 (the model "
+               "must be defined for every epoch)");
+  TD_CHECK(phases_.front().second != nullptr);
   for (size_t i = 1; i < phases_.size(); ++i) {
-    TD_CHECK_LT(phases_[i - 1].first, phases_[i].first);
+    TD_CHECK_MSG(phases_[i - 1].first < phases_[i].first,
+                 "TimeVaryingLoss phases must be sorted by strictly "
+                 "increasing start epoch");
     TD_CHECK(phases_[i].second != nullptr);
   }
 }
@@ -93,10 +125,12 @@ double TimeVaryingLoss::LossRate(NodeId src, NodeId dst,
 
 GilbertElliottLoss::GilbertElliottLoss(Params params, uint64_t seed)
     : params_(params), seed_(seed) {
-  params_.p_good_to_bad = ClampRate(params_.p_good_to_bad);
-  params_.p_bad_to_good = ClampRate(params_.p_bad_to_good);
-  params_.loss_good = ClampRate(params_.loss_good);
-  params_.loss_bad = ClampRate(params_.loss_bad);
+  CheckRate(params_.p_good_to_bad,
+            "GilbertElliottLoss transition probabilities are in [0, 1]");
+  CheckRate(params_.p_bad_to_good,
+            "GilbertElliottLoss transition probabilities are in [0, 1]");
+  CheckRate(params_.loss_good, kRateMsg);
+  CheckRate(params_.loss_bad, kRateMsg);
   double denom = params_.p_good_to_bad + params_.p_bad_to_good;
   stationary_bad_ = denom > 0.0 ? params_.p_good_to_bad / denom : 0.0;
 }

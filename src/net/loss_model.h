@@ -17,7 +17,6 @@
 #define TD_NET_LOSS_MODEL_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -59,7 +58,13 @@ class RegionalLoss : public LossModel {
   double p_out_;
 };
 
-/// Per-directed-link loss rates with a default for unlisted links.
+/// Per-directed-link loss rates with a default for unlisted links. Links
+/// live in a flat sorted index (parallel key/rate vectors, keyed by the
+/// packed pair (src << 32) | dst): LossRate is one binary search over
+/// contiguous memory on the per-transmission hot path, instead of the
+/// node-chasing std::map walk this class started with. SetLink keeps the
+/// index sorted so lookups stay allocation-free and const (thread-safe
+/// across Monte Carlo trial workers once populated).
 class PerLinkLoss : public LossModel {
  public:
   explicit PerLinkLoss(double default_rate = 0.0);
@@ -68,9 +73,12 @@ class PerLinkLoss : public LossModel {
   void SetLinkSymmetric(NodeId a, NodeId b, double rate);
   double LossRate(NodeId src, NodeId dst, uint32_t epoch) const override;
 
+  size_t num_links() const { return keys_.size(); }
+
  private:
   double default_rate_;
-  std::map<std::pair<NodeId, NodeId>, double> rates_;
+  std::vector<uint64_t> keys_;  // (src << 32) | dst, sorted
+  std::vector<double> rates_;   // parallel to keys_
 };
 
 /// Distance-derived loss: p = clamp(floor + slope * (d / range)^gamma).

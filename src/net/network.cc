@@ -30,23 +30,65 @@ bool Network::DeliverWithRetries(NodeId src, NodeId dst, uint32_t epoch,
                                  int extra_attempts, size_t bytes) {
   TD_CHECK_GE(extra_attempts, 0);
   TD_DCHECK(connectivity_->AreNeighbors(src, dst));
+  // An installed policy owns the attempt budget; otherwise the caller's
+  // extra_attempts keeps the legacy contract (budget = 1 + extras).
+  const int budget = retry_policy_ ? retry_policy_->EffectiveAttempts()
+                                   : extra_attempts + 1;
   if (!(active_[src] & active_[dst])) {
     // The sender (if up) still burns energy trying; nothing is drawn.
-    for (int attempt = 0; attempt <= extra_attempts; ++attempt) {
+    for (int attempt = 0; attempt < budget; ++attempt) {
       CountTransmission(src, bytes);
     }
+    RecordUnicast(src, dst, epoch, budget, false);
     return false;
   }
   // The loss rate is a pure function of (src, dst, epoch): hoist it out of
   // the retry loop so stateless-but-computed models (Gilbert-Elliott's
   // block walk) run once per message, not once per attempt. Draw sequence
-  // is unchanged: one Bernoulli per attempt, as before.
+  // without a policy is unchanged: one Bernoulli per attempt, as before.
   const double p = loss_->LossRate(src, dst, epoch);
-  for (int attempt = 0; attempt <= extra_attempts; ++attempt) {
-    CountTransmission(src, bytes);
-    if (!rng_.Bernoulli(p)) return true;
+  if (!retry_policy_ || !retry_policy_->ack_loss) {
+    for (int attempt = 0; attempt < budget; ++attempt) {
+      CountTransmission(src, bytes);
+      if (!rng_.Bernoulli(p)) {
+        RecordUnicast(src, dst, epoch, attempt + 1, true);
+        return true;
+      }
+    }
+    RecordUnicast(src, dst, epoch, budget, false);
+    return false;
   }
-  return false;
+  // Ack-loss mode: a delivered packet is acked over the reverse link; a
+  // lost ack makes the sender retransmit data the receiver already holds
+  // (and de-duplicates), so delivery is "data arrived at least once" while
+  // attempts and energy keep climbing until an ack lands or the budget
+  // runs out. Acks are charged to the receiver.
+  const double q = loss_->LossRate(dst, src, epoch);
+  bool delivered = false;
+  int attempts = 0;
+  while (attempts < budget) {
+    CountTransmission(src, bytes);
+    ++attempts;
+    if (rng_.Bernoulli(p)) continue;  // data lost; retry if budget remains
+    delivered = true;
+    CountTransmission(dst, retry_policy_->ack_bytes);
+    if (!rng_.Bernoulli(q)) break;  // ack heard; the sender stops
+  }
+  RecordUnicast(src, dst, epoch, attempts, delivered);
+  return delivered;
+}
+
+void Network::RecordUnicast(NodeId src, NodeId dst, uint32_t epoch,
+                            int attempts, bool delivered) {
+  TD_DCHECK(attempts >= 1);
+  ++retry_stats_.unicasts;
+  retry_stats_.attempts += static_cast<uint64_t>(attempts);
+  if (delivered) ++retry_stats_.delivered;
+  if (retry_stats_.by_attempts.size() < static_cast<size_t>(attempts)) {
+    retry_stats_.by_attempts.resize(static_cast<size_t>(attempts), 0);
+  }
+  ++retry_stats_.by_attempts[static_cast<size_t>(attempts) - 1];
+  if (observer_ != nullptr) observer_->OnUnicast(src, dst, epoch, delivered);
 }
 
 void Network::CountTransmission(NodeId src, size_t bytes) {
@@ -65,6 +107,11 @@ void Network::CountTransmission(NodeId src, size_t bytes) {
 void Network::SetLossModel(std::shared_ptr<LossModel> loss) {
   TD_CHECK(loss != nullptr);
   loss_ = std::move(loss);
+}
+
+void Network::SetRetryPolicy(const RetryPolicy& policy) {
+  policy.Validate();
+  retry_policy_ = policy;
 }
 
 void Network::SetNodeActive(NodeId id, bool active) {
@@ -91,6 +138,7 @@ const EnergyStats& Network::node_energy(NodeId id) const {
 void Network::ResetEnergy() {
   total_energy_ = EnergyStats{};
   for (auto& e : node_energy_) e = EnergyStats{};
+  retry_stats_ = RetryStats{};
 }
 
 }  // namespace td

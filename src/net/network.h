@@ -13,8 +13,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "link/retry_policy.h"
 #include "net/connectivity.h"
 #include "net/deployment.h"
 #include "net/loss_model.h"
@@ -39,6 +41,37 @@ struct EnergyStats {
   }
 };
 
+/// Per-unicast retry accounting, accumulated by DeliverWithRetries and
+/// reset together with the energy counters (so, like EnergyStats, a run's
+/// measured tally excludes warmup). Invariants the accounting tests pin:
+///   sum(by_attempts) == unicasts,
+///   sum_k (k + 1) * by_attempts[k] == attempts,
+///   delivered <= unicasts.
+struct RetryStats {
+  uint64_t unicasts = 0;   // logical unicast messages attempted
+  uint64_t delivered = 0;  // unicasts whose data reached the receiver
+  uint64_t attempts = 0;   // physical data transmissions across all unicasts
+  /// by_attempts[k]: unicasts that used exactly k + 1 data transmissions
+  /// (delivered or exhausted).
+  std::vector<uint64_t> by_attempts;
+
+  double delivery_ratio() const {
+    return unicasts == 0
+               ? 0.0
+               : static_cast<double>(delivered) / static_cast<double>(unicasts);
+  }
+};
+
+/// Observer of unicast outcomes; route aging (link/route_aging) subscribes
+/// to blacklist persistently failing tree links. Called once per logical
+/// unicast with the final delivery outcome, never per attempt.
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  virtual void OnUnicast(NodeId src, NodeId dst, uint32_t epoch,
+                         bool delivered) = 0;
+};
+
 class Network {
  public:
   Network(const Deployment* deployment, const Connectivity* connectivity,
@@ -53,6 +86,14 @@ class Network {
   /// (Figure 9(b): tree nodes retransmit twice => extra_attempts = 2).
   /// Every attempt is counted as a physical transmission against `src`.
   /// `bytes` is the message payload size, charged per attempt.
+  ///
+  /// When a RetryPolicy is installed (SetRetryPolicy), the policy governs
+  /// the attempt budget instead of `extra_attempts` -- its
+  /// EffectiveAttempts total, plus optional ack-loss draws on the reverse
+  /// link (a delivered packet whose ack is lost is retransmitted and
+  /// de-duplicated, so the return value is "data reached dst at least
+  /// once"). Without a policy the draw sequence is exactly one Bernoulli
+  /// per attempt, unchanged from the pre-link-layer contract.
   bool DeliverWithRetries(NodeId src, NodeId dst, uint32_t epoch,
                           int extra_attempts, size_t bytes);
 
@@ -67,6 +108,23 @@ class Network {
 
   /// Replaces the loss model (dynamic scenarios assembled incrementally).
   void SetLossModel(std::shared_ptr<LossModel> loss);
+
+  /// Installs a link-layer retransmission policy (validated fail-fast).
+  /// From then on DeliverWithRetries budgets attempts from the policy, not
+  /// from its extra_attempts argument. ClearRetryPolicy restores the
+  /// legacy per-call budget.
+  void SetRetryPolicy(const RetryPolicy& policy);
+  void ClearRetryPolicy() { retry_policy_.reset(); }
+  const std::optional<RetryPolicy>& retry_policy() const {
+    return retry_policy_;
+  }
+
+  /// Unicast delivery/retry tallies; reset together with ResetEnergy.
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
+  /// Subscribes an observer to per-unicast outcomes (nullptr unsubscribes).
+  /// The observer must outlive the network or be cleared first.
+  void SetLinkObserver(LinkObserver* observer) { observer_ = observer; }
 
   /// Powers a node down (dead or duty-cycle asleep) or back up. An inactive
   /// node transmits nothing -- its sends fail and charge no energy -- and
@@ -88,6 +146,9 @@ class Network {
   size_t size() const { return deployment_->size(); }
 
  private:
+  void RecordUnicast(NodeId src, NodeId dst, uint32_t epoch, int attempts,
+                     bool delivered);
+
   const Deployment* deployment_;      // not owned
   const Connectivity* connectivity_;  // not owned
   std::shared_ptr<LossModel> loss_;
@@ -95,6 +156,9 @@ class Network {
   EnergyStats total_energy_;
   std::vector<EnergyStats> node_energy_;
   std::vector<uint8_t> active_;
+  std::optional<RetryPolicy> retry_policy_;
+  RetryStats retry_stats_;
+  LinkObserver* observer_ = nullptr;  // not owned
 };
 
 }  // namespace td

@@ -13,6 +13,12 @@ Rings Rings::Build(const Connectivity& connectivity, NodeId base) {
 
 Rings Rings::Build(const Connectivity& connectivity, NodeId base,
                    const std::vector<bool>& active) {
+  return Build(connectivity, base, active, nullptr);
+}
+
+Rings Rings::Build(const Connectivity& connectivity, NodeId base,
+                   const std::vector<bool>& active,
+                   const LinkFilter& link_ok) {
   TD_CHECK_LT(base, connectivity.num_nodes());
   TD_CHECK_EQ(active.size(), connectivity.num_nodes());
   TD_CHECK(active[base]);
@@ -25,7 +31,8 @@ Rings Rings::Build(const Connectivity& connectivity, NodeId base,
     NodeId v = queue.front();
     queue.pop_front();
     for (NodeId w : connectivity.Neighbors(v)) {
-      if (r.level_[w] == kUnreachable && active[w]) {
+      if (r.level_[w] == kUnreachable && active[w] &&
+          (!link_ok || link_ok(v, w))) {
         r.level_[w] = r.level_[v] + 1;
         queue.push_back(w);
       }

@@ -7,11 +7,16 @@
 #ifndef TD_TOPOLOGY_RINGS_H_
 #define TD_TOPOLOGY_RINGS_H_
 
+#include <functional>
 #include <vector>
 
 #include "net/connectivity.h"
 
 namespace td {
+
+/// Predicate over a directed edge (from, to); see Rings::Build and
+/// RepairTree. Deterministic filters keep topology bit-reproducible.
+using LinkFilter = std::function<bool(NodeId from, NodeId to)>;
 
 class Rings {
  public:
@@ -27,6 +32,16 @@ class Rings {
   /// must have one entry per node; the base station must be active.
   static Rings Build(const Connectivity& connectivity, NodeId base,
                      const std::vector<bool>& active);
+
+  /// Quality-aware rings: BFS relays only over edges `link_ok` accepts
+  /// (evaluated in the propagation direction, parent -> child), so nodes
+  /// reachable solely over rejected links come out kUnreachable. Used by
+  /// the link layer to keep marginal links (below a PRR floor) out of the
+  /// ring structure -- and therefore, via the Section 4.1 subset
+  /// constraint, out of every tree. A null filter accepts every edge.
+  static Rings Build(const Connectivity& connectivity, NodeId base,
+                     const std::vector<bool>& active,
+                     const LinkFilter& link_ok);
 
   /// Ring number; 0 is the base station itself.
   int level(NodeId id) const;

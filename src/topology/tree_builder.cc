@@ -148,9 +148,41 @@ Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
   return BuildOptimizedTree(connectivity, rings, TreeBuildOptions{}, rng);
 }
 
+Tree BuildEtxTree(const Connectivity& connectivity, const Rings& rings,
+                  const LinkCostFn& cost) {
+  TD_CHECK(cost != nullptr);
+  Tree tree(connectivity.num_nodes(), rings.base());
+  for (int level = 1; level <= rings.max_level(); ++level) {
+    for (NodeId v : rings.NodesAtLevel(level)) {
+      std::vector<NodeId> up = rings.UpstreamNeighbors(connectivity, v);
+      // BFS levels guarantee at least one upstream neighbor.
+      TD_CHECK(!up.empty());
+      NodeId best = up.front();
+      double best_cost = cost(v, best);
+      for (size_t i = 1; i < up.size(); ++i) {
+        const double c = cost(v, up[i]);
+        // Strict < with ascending ids: ties resolve to the lowest id.
+        if (c < best_cost) {
+          best = up[i];
+          best_cost = c;
+        }
+      }
+      tree.SetParent(v, best);
+    }
+  }
+  return tree;
+}
+
 TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
                             const Rings& rings,
                             const std::vector<bool>& alive) {
+  return RepairTree(tree, connectivity, rings, alive, nullptr);
+}
+
+TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
+                            const Rings& rings,
+                            const std::vector<bool>& alive,
+                            const LinkFilter& edge_ok) {
   TD_CHECK(tree != nullptr);
   TD_CHECK_EQ(tree->num_nodes(), rings.num_nodes());
   TD_CHECK_EQ(alive.size(), rings.num_nodes());
@@ -180,22 +212,33 @@ TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
       NodeId p = tree->parent(v);
       const bool parent_ok = p != kNoParent && tree->InTree(p) &&
                              (p == root || alive[p]) &&
-                             rings.level(p) == level - 1;
+                             rings.level(p) == level - 1 &&
+                             (!edge_ok || edge_ok(v, p));
       if (parent_ok) continue;
+      // Two candidate sweeps: first honoring the edge filter, then -- if
+      // the filter rejected every upstream option -- unfiltered, because a
+      // bad parent beats no parent (see header).
       NodeId best = kNoParent;
       size_t best_children = 0;
-      for (NodeId w : rings.UpstreamNeighbors(connectivity, v)) {
-        if (!tree->InTree(w)) continue;
-        size_t c = tree->children(w).size();
-        if (best == kNoParent || c < best_children ||
-            (c == best_children && w < best)) {
-          best = w;
-          best_children = c;
+      for (int sweep = 0; sweep < 2 && best == kNoParent; ++sweep) {
+        const bool filtered = edge_ok && sweep == 0;
+        for (NodeId w : rings.UpstreamNeighbors(connectivity, v)) {
+          if (!tree->InTree(w)) continue;
+          if (filtered && !edge_ok(v, w)) continue;
+          size_t c = tree->children(w).size();
+          if (best == kNoParent || c < best_children ||
+              (c == best_children && w < best)) {
+            best = w;
+            best_children = c;
+          }
         }
+        if (!edge_ok) break;
       }
       if (best != kNoParent) {
-        tree->SetParent(v, best);
-        ++result.reattached;
+        if (best != p) {
+          tree->SetParent(v, best);
+          ++result.reattached;
+        }
       } else if (tree->InTree(v)) {
         // Cannot happen for a ring-reachable node (see above), but stay
         // defensive: better a detached node than a dangling edge.

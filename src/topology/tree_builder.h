@@ -16,6 +16,8 @@
 #ifndef TD_TOPOLOGY_TREE_BUILDER_H_
 #define TD_TOPOLOGY_TREE_BUILDER_H_
 
+#include <functional>
+
 #include "topology/rings.h"
 #include "topology/tree.h"
 #include "util/rng.h"
@@ -54,6 +56,22 @@ Tree BuildTagTree(const Connectivity& connectivity, const Rings& rings,
 Tree BuildOptimizedTree(const Connectivity& connectivity, const Rings& rings,
                         Rng* rng);
 
+/// Cost of the directed child -> parent link for quality-aware parent
+/// selection; lower is better (link/link_quality's LinkEtx is the canonical
+/// instance). Must be deterministic.
+using LinkCostFn = std::function<double(NodeId child, NodeId parent)>;
+
+/// Quality-aware (ETX/rank) tree construction, the runicast parent choice
+/// from the related repos' sensor stacks: rank first -- parents come
+/// strictly from ring level i-1, preserving the Section 4.1
+/// tree-links-subset-of-ring-links constraint exactly like
+/// BuildOptimizedTree -- then link quality as the tiebreak among the
+/// upstream candidates: each node takes the parent minimizing
+/// `cost(child, parent)`, lowest id on ties. Fully deterministic (no RNG),
+/// so one deployment + quality map always yields one tree.
+Tree BuildEtxTree(const Connectivity& connectivity, const Rings& rings,
+                  const LinkCostFn& cost);
+
 /// Outcome of a RepairTree pass.
 struct TreeRepairResult {
   /// Nodes attached or re-parented during the pass.
@@ -76,6 +94,20 @@ struct TreeRepairResult {
 TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
                             const Rings& rings,
                             const std::vector<bool>& alive);
+
+/// RepairTree with an edge veto: a non-null `edge_ok(child, parent)`
+/// filter additionally invalidates tree edges it rejects (the child is
+/// re-parented to the best accepted upstream candidate) and keeps rejected
+/// candidates from being chosen. Route aging (link/route_aging) passes its
+/// blacklist here to steer children off persistently failing links. A
+/// child whose every upstream candidate is rejected falls back to the
+/// unfiltered candidate set rather than detaching -- a bad parent beats no
+/// parent. The null-filter overload above is bit-identical to pre-filter
+/// behavior.
+TreeRepairResult RepairTree(Tree* tree, const Connectivity& connectivity,
+                            const Rings& rings,
+                            const std::vector<bool>& alive,
+                            const LinkFilter& edge_ok);
 
 }  // namespace td
 

@@ -172,9 +172,13 @@ void DynamicScenario::GenerateDutyCycle() {
 void DynamicScenario::GenerateLossSchedule() {
   for (size_t i = 0; i < config_.loss_schedule.size(); ++i) {
     const LossPhase& phase = config_.loss_schedule[i];
+    TD_CHECK_MSG(phase.rate >= 0.0 && phase.rate <= 1.0,
+                 "LossPhase.rate is a loss probability in [0, 1]");
     if (i > 0) {
-      TD_CHECK_LT(config_.loss_schedule[i - 1].start_epoch,
-                  phase.start_epoch);
+      TD_CHECK_MSG(config_.loss_schedule[i - 1].start_epoch <
+                       phase.start_epoch,
+                   "DynamicsConfig.loss_schedule must be sorted by strictly "
+                   "increasing start epoch");
     }
     if (phase.start_epoch >= config_.horizon) continue;
     events_.push_back(

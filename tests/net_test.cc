@@ -75,13 +75,48 @@ TEST(ConnectivityTest, Disconnected) {
 
 // ------------------------------------------------------------ LossModels --
 
-TEST(LossModelTest, GlobalClamps) {
-  GlobalLoss g(1.7);
-  EXPECT_DOUBLE_EQ(g.LossRate(0, 1, 0), 1.0);
-  GlobalLoss h(-0.5);
-  EXPECT_DOUBLE_EQ(h.LossRate(0, 1, 0), 0.0);
+TEST(LossModelTest, GlobalInRange) {
   GlobalLoss p(0.3);
   EXPECT_DOUBLE_EQ(p.LossRate(5, 6, 99), 0.3);
+  GlobalLoss zero(0.0);
+  EXPECT_DOUBLE_EQ(zero.LossRate(0, 1, 0), 0.0);
+  GlobalLoss one(1.0);
+  EXPECT_DOUBLE_EQ(one.LossRate(0, 1, 0), 1.0);
+}
+
+// Out-of-range rates are caller bugs: constructors abort rather than
+// silently clamping (a clamped 1.7 "loss rate" would misreport every
+// robustness sweep built on it).
+TEST(LossModelDeathTest, RejectsOutOfRangeRates) {
+  EXPECT_DEATH(GlobalLoss(1.7), "probabilities in \\[0, 1\\]");
+  EXPECT_DEATH(GlobalLoss(-0.5), "probabilities in \\[0, 1\\]");
+  EXPECT_DEATH(
+      {
+        PerLinkLoss pl(0.2);
+        pl.SetLink(0, 1, 1.2);
+      },
+      "probabilities in \\[0, 1\\]");
+  EXPECT_DEATH(PerLinkLoss(-0.1), "probabilities in \\[0, 1\\]");
+  Deployment d = LineDeployment(3);
+  EXPECT_DEATH(RegionalLoss(&d, Rect{{0, 0}, {1, 1}}, 2.0, 0.1),
+               "probabilities in \\[0, 1\\]");
+  GilbertElliottLoss::Params ge;
+  ge.p_good_to_bad = -0.2;
+  EXPECT_DEATH(GilbertElliottLoss(ge, 1), "transition probabilities");
+}
+
+TEST(LossModelDeathTest, TimeVaryingRejectsBadPhases) {
+  using Phases =
+      std::vector<std::pair<uint32_t, std::shared_ptr<LossModel>>>;
+  EXPECT_DEATH(TimeVaryingLoss(Phases{}), "at least one phase");
+  EXPECT_DEATH(
+      TimeVaryingLoss(Phases{{5, std::make_shared<GlobalLoss>(0.1)}}),
+      "begin at epoch 0");
+  EXPECT_DEATH(
+      TimeVaryingLoss(Phases{{0, std::make_shared<GlobalLoss>(0.1)},
+                             {100, std::make_shared<GlobalLoss>(0.2)},
+                             {50, std::make_shared<GlobalLoss>(0.3)}}),
+      "strictly increasing start epoch");
 }
 
 TEST(LossModelTest, RegionalUsesSenderPosition) {
@@ -221,6 +256,105 @@ TEST(NetworkTest, RetriesStopAfterSuccess) {
   Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 3);
   EXPECT_TRUE(net.DeliverWithRetries(0, 1, 0, 5, 10));
   EXPECT_EQ(net.total_energy().transmissions, 1u);
+}
+
+// ------------------------------------------ retry policy and accounting --
+
+// The RetryStats invariants hold for any seed and loss rate, and the
+// energy tally matches the attempt tally exactly: every failed attempt is
+// charged.
+TEST(NetworkTest, RetryAccountingMatchesEnergyAcrossSeeds) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  for (uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    Network net(&d, &c, std::make_shared<GlobalLoss>(0.45), seed);
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    net.SetRetryPolicy(policy);
+    const size_t bytes = 10;  // < 48: one packet per attempt
+    for (int i = 0; i < 5000; ++i) net.DeliverWithRetries(0, 1, 0, 0, bytes);
+
+    const RetryStats& rs = net.retry_stats();
+    EXPECT_EQ(rs.unicasts, 5000u);
+    uint64_t hist_unicasts = 0, hist_attempts = 0;
+    for (size_t k = 0; k < rs.by_attempts.size(); ++k) {
+      hist_unicasts += rs.by_attempts[k];
+      hist_attempts += (k + 1) * rs.by_attempts[k];
+    }
+    EXPECT_EQ(hist_unicasts, rs.unicasts);
+    EXPECT_EQ(hist_attempts, rs.attempts);
+    EXPECT_LE(rs.delivered, rs.unicasts);
+    EXPECT_LE(rs.by_attempts.size(), 4u);
+    // Energy: every attempt -- delivered or failed -- was charged.
+    EXPECT_EQ(net.total_energy().transmissions, rs.attempts);
+    EXPECT_EQ(net.total_energy().packets, rs.attempts);
+    EXPECT_EQ(net.total_energy().bytes, rs.attempts * bytes);
+  }
+}
+
+TEST(NetworkTest, RetryPolicyOverridesPerCallBudget) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(1.0), 3);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  net.SetRetryPolicy(policy);
+  // The per-call extra_attempts argument (0) is ignored under a policy.
+  EXPECT_FALSE(net.DeliverWithRetries(0, 1, 0, 0, 10));
+  EXPECT_EQ(net.total_energy().transmissions, 5u);
+  net.ClearRetryPolicy();
+  net.ResetEnergy();
+  EXPECT_FALSE(net.DeliverWithRetries(0, 1, 0, 0, 10));
+  EXPECT_EQ(net.total_energy().transmissions, 1u);
+}
+
+TEST(NetworkTest, BackoffTruncatesBudgetToEpochWindow) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_slots = 2;  // stride 3 -> ceil(8 / 3) = 3 attempts fit
+  policy.slots_per_epoch = 8;
+  EXPECT_EQ(policy.EffectiveAttempts(), 3);
+  policy.backoff_slots = 0;
+  EXPECT_EQ(policy.EffectiveAttempts(), 8);
+  policy.max_attempts = 2;
+  EXPECT_EQ(policy.EffectiveAttempts(), 2);
+}
+
+TEST(NetworkTest, AckLossRetransmitsButDeliversOnce) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  // Perfect data link, perfect ack link: exactly one attempt + one ack.
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 3);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.ack_loss = true;
+  policy.ack_bytes = 8;
+  net.SetRetryPolicy(policy);
+  EXPECT_TRUE(net.DeliverWithRetries(0, 1, 0, 0, 10));
+  EXPECT_EQ(net.node_energy(0).transmissions, 1u);  // data
+  EXPECT_EQ(net.node_energy(1).transmissions, 1u);  // ack
+  EXPECT_EQ(net.retry_stats().delivered, 1u);
+
+  // Acks always lost on the reverse link: data arrives on attempt 1, but
+  // the sender burns the whole budget waiting for an ack that never comes.
+  PerLinkLoss asym(0.0);
+  asym.SetLink(1, 0, 1.0);  // reverse (ack) link dead
+  Network net2(&d, &c, std::make_shared<PerLinkLoss>(asym), 3);
+  net2.SetRetryPolicy(policy);
+  EXPECT_TRUE(net2.DeliverWithRetries(0, 1, 0, 0, 10));
+  EXPECT_EQ(net2.node_energy(0).transmissions, 4u);  // full budget
+  EXPECT_EQ(net2.node_energy(1).transmissions, 4u);  // one ack per receipt
+  EXPECT_EQ(net2.retry_stats().delivered, 1u);       // still one delivery
+  EXPECT_EQ(net2.retry_stats().attempts, 4u);
+}
+
+TEST(NetworkDeathTest, RejectsZeroAttemptBudget) {
+  Deployment d = LineDeployment(3);
+  Connectivity c = Connectivity::FromRadioRange(d, 1.5);
+  Network net(&d, &c, std::make_shared<GlobalLoss>(0.0), 1);
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_DEATH(net.SetRetryPolicy(policy), "zero-attempt budget");
 }
 
 TEST(NetworkTest, SetLossModelSwaps) {

@@ -47,6 +47,14 @@ with groups, never subscribers); and the dedup rows' window merges must be
 identical across all subscriber counts. Deterministic counters; exact; no
 baseline file.
 
+With --linklayer BENCH_linklayer.json the tool gates the link-layer
+degradation sweep: every cell must be thread-count deterministic; at every
+retry budget the ETX-routed arm must deliver at least as well as hop-count
+routing at equal-or-lower radio bytes, and with retries enabled
+(budget >= 2) the delivery advantage must be strict; and the best ETX arm
+must clear --min-etx-delivery (default 0.8). Deterministic counters;
+exact; no baseline file.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
@@ -239,6 +247,79 @@ def check_federation(path, min_factor):
     return failures
 
 
+def check_linklayer(path, min_delivery):
+    """Gate BENCH_linklayer.json: thread-count determinism everywhere,
+    ETX routing at least matches hop-count delivery at equal-or-lower
+    bytes at every retry budget (strictly better delivery once retries
+    are on), and the best ETX arm clears the delivery floor. Returns
+    failure strings."""
+    doc = load_doc(path)
+    rows = {}
+    for row in doc.get("results", []):
+        routing = row.get("routing")
+        budget = row.get("budget")
+        aging = row.get("aging")
+        delivery = row.get("delivery_ratio")
+        bytes_pe = row.get("bytes_per_epoch")
+        deterministic = row.get("deterministic")
+        # Every row belongs to the gate; a malformed row is a json
+        # regression, not something to skip silently.
+        if routing not in ("hop", "etx") or \
+                not isinstance(budget, (int, float)) or \
+                not isinstance(aging, (int, float)) or \
+                not isinstance(delivery, (int, float)) or \
+                not isinstance(bytes_pe, (int, float)) or \
+                not isinstance(deterministic, (int, float)):
+            print(f"check_bench: malformed link-layer row {row!r} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        rows[(routing, int(budget), bool(aging))] = \
+            (float(delivery), float(bytes_pe), bool(deterministic))
+
+    budgets = sorted({b for r, b, a in rows
+                      if not a and ("hop", b, False) in rows
+                      and ("etx", b, False) in rows})
+    if not budgets:
+        print(f"check_bench: no hop/etx row pairs in {path}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"link-layer gate: {path}, etx must match-or-beat hop delivery at "
+          f"<= bytes (strictly beat once budget >= 2), best etx delivery >= "
+          f"{min_delivery:g}")
+    for (routing, budget, aging), (_, _, det) in sorted(rows.items()):
+        if not det:
+            arm = routing + ("+aging" if aging else "")
+            failures.append(
+                f"{arm}/budget={budget}: Threads(1) vs Threads(N) sweeps "
+                f"diverged -- trial runner is nondeterministic")
+    for budget in budgets:
+        e_delivery, e_bytes, _ = rows[("etx", budget, False)]
+        h_delivery, h_bytes, _ = rows[("hop", budget, False)]
+        strict = budget >= 2
+        delivery_ok = e_delivery > h_delivery if strict \
+            else e_delivery >= h_delivery
+        bytes_ok = e_bytes <= h_bytes
+        verdict = "ok" if delivery_ok and bytes_ok else "REGRESSED"
+        print(f"  budget {budget}: etx {e_delivery:.3f} delivery / "
+              f"{e_bytes:.0f} B vs hop {h_delivery:.3f} / {h_bytes:.0f} B  "
+              f"{verdict}")
+        if not delivery_ok:
+            op = ">" if strict else ">="
+            failures.append(
+                f"budget {budget}: etx delivery {e_delivery:.4f} not {op} "
+                f"hop {h_delivery:.4f}")
+        if not bytes_ok:
+            failures.append(
+                f"budget {budget}: etx spends {e_bytes:.0f} B/epoch > hop "
+                f"{h_bytes:.0f} -- quality routing must not cost energy")
+    best = max(rows[("etx", b, False)][0] for b in budgets)
+    if best < min_delivery:
+        failures.append(
+            f"best etx delivery ratio {best:.4f} below floor {min_delivery:g}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
@@ -275,6 +356,13 @@ def main():
     parser.add_argument("--min-dedup-factor", type=float, default=100.0,
                         help="required window-merge advantage of dedup over "
                              "naive at the largest fan-out (default 100)")
+    parser.add_argument("--linklayer", metavar="JSON", default=None,
+                        help="gate a BENCH_linklayer.json degradation sweep "
+                             "(no baseline needed; deterministic counters)")
+    parser.add_argument("--min-etx-delivery", type=float, default=0.8,
+                        help="delivery-ratio floor for the best ETX arm "
+                             "under the reference fault schedule "
+                             "(default 0.8)")
     args = parser.parse_args()
 
     ran_gate = False
@@ -306,12 +394,21 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             sys.exit(1)
         print("federation gate: OK")
+    if args.linklayer:
+        ran_gate = True
+        failures = check_linklayer(args.linklayer, args.min_etx_delivery)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("link-layer gate: OK")
     if ran_gate and args.current is None:
         return
     if args.current is None or args.baseline is None:
         parser.error("current and baseline are required unless "
-                     "--query-amortization, --windows or --federation is "
-                     "given")
+                     "--query-amortization, --windows, --federation or "
+                     "--linklayer is given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)

@@ -252,6 +252,94 @@ void BM_RunTrials(benchmark::State& state) {
 BENCHMARK(BM_RunTrials)->Arg(1)->Arg(0);  // 0 = hardware_concurrency
 
 // ------------------------------------------------------------------------
+// SoA scaling curve (--scaling): epoch cost of the structure-of-arrays
+// core vs the object core at 10k / 100k / 1M sensors, constant deployment
+// density (the paper's 600-in-20x20), synopsis diffusion over a Count
+// query at 20% loss. The object core stops at 100k -- the point of the
+// curve is that the SoA core keeps going. Each arm runs twice from a
+// fresh experiment to pin per-n determinism, and at the sizes both cores
+// run, their per-epoch answers and byte tallies must agree exactly.
+
+struct ScalingRun {
+  double epoch_ms = 0.0;
+  std::vector<double> values;  // per timed epoch: the estimate
+  uint64_t bytes = 0;          // total radio bytes after the run
+};
+
+ScalingRun RunScalingOnce(const Scenario& sc, EngineCore core,
+                          uint32_t timed_epochs) {
+  Experiment exp = Experiment::Builder()
+                       .Scenario(&sc)
+                       .Aggregate(AggregateKind::kCount)
+                       .Strategy(Strategy::kSynopsisDiffusion)
+                       .Core(core)
+                       .GlobalLossRate(0.2)
+                       .NetworkSeed(1)
+                       .Epochs(1)  // stepped manually below
+                       .Build();
+  // Epoch 0 builds the scratch arenas / inboxes; time the steady state.
+  exp.engine().RunEpoch(0);
+  ScalingRun out;
+  auto start = std::chrono::steady_clock::now();
+  for (uint32_t e = 1; e <= timed_epochs; ++e) {
+    out.values.push_back(exp.engine().RunEpoch(e).value);
+  }
+  std::chrono::duration<double> dt = std::chrono::steady_clock::now() - start;
+  out.epoch_ms = dt.count() * 1e3 / timed_epochs;
+  out.bytes = exp.network().total_energy().bytes;
+  return out;
+}
+
+void AppendScalingJson(bench::BenchJson* json) {
+  struct Spec {
+    const char* tag;
+    size_t n;
+    uint32_t epochs;
+    bool object_too;
+  };
+  // Timed epochs shrink with n so the curve stays inside the CI budget.
+  const Spec specs[] = {{"10k", 10'000, 4, true},
+                        {"100k", 100'000, 2, true},
+                        {"1m", 1'000'000, 1, false}};
+  std::printf("\nSoA scaling curve (synopsis diffusion, Count, 20%% loss)\n");
+  for (const Spec& spec : specs) {
+    // Constant density: scale the paper's 600-in-20x20 field with n.
+    const double width =
+        20.0 * std::sqrt(static_cast<double>(spec.n) / 600.0);
+    Scenario sc = MakeSyntheticScenario(7, spec.n, width, width, 3.0);
+
+    ScalingRun soa = RunScalingOnce(sc, EngineCore::kSoa, spec.epochs);
+    ScalingRun soa2 = RunScalingOnce(sc, EngineCore::kSoa, spec.epochs);
+    const bool deterministic =
+        soa.values == soa2.values && soa.bytes == soa2.bytes;
+    json->Entry()
+        .Field("metric", std::string("scaling_soa_epoch_ms_") + spec.tag)
+        .Field("value", soa.epoch_ms);
+    json->Entry()
+        .Field("metric",
+               std::string("scaling_soa_deterministic_") + spec.tag)
+        .Field("value", deterministic ? 1.0 : 0.0);
+    std::printf("  n=%-5s soa %10.2f ms/epoch  deterministic=%d", spec.tag,
+                soa.epoch_ms, deterministic ? 1 : 0);
+
+    if (spec.object_too) {
+      ScalingRun obj = RunScalingOnce(sc, EngineCore::kObject, spec.epochs);
+      const bool match =
+          obj.values == soa.values && obj.bytes == soa.bytes;
+      json->Entry()
+          .Field("metric", std::string("scaling_obj_epoch_ms_") + spec.tag)
+          .Field("value", obj.epoch_ms);
+      json->Entry()
+          .Field("metric", std::string("scaling_match_") + spec.tag)
+          .Field("value", match ? 1.0 : 0.0);
+      std::printf("  obj %10.2f ms/epoch  match=%d  (%.2fx)", obj.epoch_ms,
+                  match ? 1 : 0, obj.epoch_ms / soa.epoch_ms);
+    }
+    std::printf("\n");
+  }
+}
+
+// ------------------------------------------------------------------------
 // BENCH_micro.json: chrono-timed headline numbers for the perf trajectory.
 
 double SecondsPerCall(const std::function<void()>& fn, int calls) {
@@ -278,7 +366,7 @@ double SecondsPerCall(const std::function<void()>& fn, int calls) {
   return secs[kRuns / 2];
 }
 
-void WriteMicroJson() {
+void WriteMicroJson(bool with_scaling) {
   bench::BenchJson json("micro");
 
   {
@@ -313,6 +401,8 @@ void WriteMicroJson() {
         .Field("value", sec * 1e3);
   }
 
+  if (with_scaling) AppendScalingJson(&json);
+
   json.Write();
 }
 
@@ -324,13 +414,18 @@ int main(int argc, char** argv) {
   // should pay for (and overwrite) the BENCH_micro.json trajectory pass.
   // --json_only skips google-benchmark entirely and just writes the
   // chrono-timed BENCH_micro.json (the CI regression-gate pass).
+  // --scaling additionally runs the 10k/100k/1M SoA-vs-object curve and
+  // emits its scaling_* rows into the same json (check_bench --scaling
+  // gates them).
   bool filtered = false;
   bool json_only = false;
+  bool scaling = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.starts_with("--benchmark_filter")) filtered = true;
-    if (arg == "--json_only") {
-      json_only = true;
+    if (arg == "--json_only" || arg == "--scaling") {
+      if (arg == "--json_only") json_only = true;
+      if (arg == "--scaling") scaling = true;
       // Hide the flag from google-benchmark's argument check.
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
@@ -338,13 +433,13 @@ int main(int argc, char** argv) {
     }
   }
   if (json_only) {
-    td::WriteMicroJson();
+    td::WriteMicroJson(scaling);
     return 0;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!filtered) td::WriteMicroJson();
+  if (!filtered) td::WriteMicroJson(scaling);
   return 0;
 }

@@ -11,6 +11,7 @@
 #ifndef TD_AGG_AGGREGATES_H_
 #define TD_AGG_AGGREGATES_H_
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -71,6 +72,15 @@ class CountAggregate {
   size_t TreeBytes(const TreePartial& p) const;
   size_t SynopsisBytes(const Synopsis& s) const;
 
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId /*node*/, uint32_t /*epoch*/) const {
+    return 0;  // a node's Count contribution never changes
+  }
+
  private:
   int sketch_bitmaps_;
   uint64_t seed_;
@@ -111,6 +121,15 @@ class SumAggregate {
   size_t TreeBytes(const TreePartial& p) const;
   size_t SynopsisBytes(const Synopsis& s) const;
 
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return reading_(node, epoch);
+  }
+
  private:
   UintReadingFn reading_;
   int sketch_bitmaps_;
@@ -148,6 +167,15 @@ class ExtremumAggregate {
 
   size_t TreeBytes(const TreePartial&) const { return sizeof(double); }
   size_t SynopsisBytes(const Synopsis&) const { return sizeof(double); }
+
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return std::bit_cast<uint64_t>(reading_(node, epoch));
+  }
 
  private:
   double Identity() const {
@@ -207,6 +235,15 @@ class AverageAggregate {
   size_t TreeBytes(const TreePartial&) const;
   size_t SynopsisBytes(const Synopsis& s) const;
 
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return reading_(node, epoch);
+  }
+
  private:
   UintReadingFn reading_;
   int sketch_bitmaps_;
@@ -255,6 +292,15 @@ class UniqueCountAggregate {
   size_t TreeBytes(const TreePartial& p) const { return p.EncodedBytes(); }
   size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
 
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return reading_(node, epoch);
+  }
+
  private:
   UintReadingFn reading_;
   int sketch_bitmaps_;
@@ -292,6 +338,15 @@ class UniformSampleAggregate {
   size_t SynopsisBytes(const Synopsis& s) const { return s.EncodedBytes(); }
 
   size_t sample_size() const { return sample_size_; }
+
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return std::bit_cast<uint64_t>(reading_(node, epoch));
+  }
 
  private:
   RealReadingFn reading_;
@@ -346,6 +401,15 @@ class QuantileAggregate {
 
   double quantile_p() const { return p_; }
   size_t sample_size() const { return inner_.sample_size(); }
+
+  /// Epoch-delta identity for the SoA engine core (src/core/): the node's
+  /// self partial/synopsis is a pure function of (node, this key), so an
+  /// unchanged key lets the core replay the previous epoch's cached bank
+  /// instead of re-hashing. Optional member; aggregates without it are
+  /// recomputed every epoch.
+  uint64_t SelfSynopsisKey(NodeId node, uint32_t epoch) const {
+    return inner_.SelfSynopsisKey(node, epoch);
+  }
 
  private:
   double FromSample(const SampleSynopsis& s) const;

@@ -21,6 +21,9 @@
 #include "agg/query_set.h"
 #include "agg/tree_aggregator.h"
 #include "api/strategy.h"
+#include "core/soa_multipath.h"
+#include "core/soa_td.h"
+#include "core/soa_tree.h"
 #include "freq/freq_aggregate.h"
 #include "net/network.h"
 #include "td/adaptation.h"
@@ -108,6 +111,13 @@ struct EngineOptions {
 
   /// See TributaryDeltaAggregator::Options::sensor_population.
   size_t sensor_population = 0;
+
+  /// Capture the base station's root aggregate state every epoch (see
+  /// Engine::root_state). This is the facade-level switch behind
+  /// Experiment::Builder::CaptureRootState; MakeEngine enables capture on
+  /// the freshly built engine so consumers (src/window/, src/fed/) never
+  /// reach into engine internals.
+  bool capture_root_state = false;
 };
 
 /// The facade every bench, example and integration test runs against.
@@ -134,6 +144,15 @@ class Engine {
   virtual Strategy strategy() const = 0;
   virtual Network& network() const = 0;
 
+  /// Which engine core executes the strategy (the Builder::Core axis).
+  virtual EngineCore core() const { return EngineCore::kObject; }
+
+  /// Cumulative count of nodes whose self synopsis/partial was recomputed
+  /// rather than replayed from the epoch-delta cache. Always 0 for the
+  /// object core, which has no incremental path; for the SoA core it grows
+  /// by at most one per in-sweep node per epoch.
+  virtual uint64_t nodes_reprocessed() const { return 0; }
+
   /// Notification that the scenario's tree and rings were repaired in
   /// place (dynamic scenarios, after churn). Tree and multipath engines
   /// re-read the topology every epoch and need no reaction; adaptive
@@ -141,6 +160,12 @@ class Engine {
   virtual void OnTopologyChanged() {}
 
   /// Enables per-epoch capture of the base station's root aggregate state.
+  ///
+  /// DEPRECATED as a direct call: set EngineOptions::capture_root_state (or
+  /// Experiment::Builder::CaptureRootState) instead, which MakeEngine
+  /// applies at construction; this method remains as a thin shim with
+  /// identical behavior and will eventually go away.
+  ///
   /// Off by default: the tree-engine capture copies the root partial once
   /// per epoch, so only consumers pay. Two consumers exist: windowed
   /// aggregation (src/window/ re-merges the state across epochs) and the
@@ -309,33 +334,188 @@ class TributaryDeltaEngine final : public Engine {
   TributaryDeltaAggregator<A> inner_;
 };
 
+// ---------------------------------------------------------------- SoA --
+// The structure-of-arrays core (src/core/) behind the same type-erased
+// surface. Each wrapper mirrors its object twin exactly, plus: core()
+// reports kSoa, nodes_reprocessed() surfaces the epoch-delta cache, and
+// OnTopologyChanged also drops the cached CSR/topological schedules.
+
+template <Aggregate A>
+class SoaTreeEngine final : public Engine {
+ public:
+  SoaTreeEngine(const Scenario* sc, std::shared_ptr<Network> network,
+                const A* aggregate, Strategy strategy,
+                const EngineOptions& options)
+      : network_(std::move(network)),
+        strategy_(strategy),
+        inner_(&sc->tree, network_.get(), aggregate,
+               typename SoaTreeAggregator<A>::Options{
+                   .extra_retransmissions =
+                       options.tree_extra_retransmissions >= 0
+                           ? options.tree_extra_retransmissions
+                           : (strategy == Strategy::kTagRetx ? 2 : 0)}) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return strategy_; }
+  Network& network() const override { return *network_; }
+  EngineCore core() const override { return EngineCore::kSoa; }
+  uint64_t nodes_reprocessed() const override {
+    return inner_.nodes_reprocessed();
+  }
+  void OnTopologyChanged() override { inner_.OnTopologyChanged(); }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{inner_.root_partial(), nullptr};
+  }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+
+ private:
+  std::shared_ptr<Network> network_;
+  Strategy strategy_;
+  SoaTreeAggregator<A> inner_;
+};
+
+template <Aggregate A>
+class SoaMultipathEngine final : public Engine {
+ public:
+  SoaMultipathEngine(const Scenario* sc, std::shared_ptr<Network> network,
+                     const A* aggregate, const EngineOptions& options)
+      : network_(std::move(network)),
+        inner_(&sc->rings, network_.get(), aggregate, options.contrib_seed) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return Strategy::kSynopsisDiffusion; }
+  Network& network() const override { return *network_; }
+  EngineCore core() const override { return EngineCore::kSoa; }
+  uint64_t nodes_reprocessed() const override {
+    return inner_.nodes_reprocessed();
+  }
+  void OnTopologyChanged() override { inner_.OnTopologyChanged(); }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{nullptr, inner_.root_synopsis()};
+  }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+
+ private:
+  std::shared_ptr<Network> network_;
+  SoaMultipathAggregator<A> inner_;
+};
+
+template <Aggregate A>
+class SoaTributaryDeltaEngine final : public Engine {
+ public:
+  SoaTributaryDeltaEngine(const Scenario* sc, std::shared_ptr<Network> network,
+                          const A* aggregate, Strategy strategy,
+                          const EngineOptions& options)
+      : network_(std::move(network)),
+        strategy_(strategy),
+        inner_(&sc->tree, &sc->rings, network_.get(), aggregate,
+               MakePolicy(strategy),
+               typename SoaTributaryDeltaAggregator<A>::Options{
+                   .adaptation = options.adaptation,
+                   .tree_extra_retransmissions =
+                       options.tree_extra_retransmissions >= 0
+                           ? options.tree_extra_retransmissions
+                           : 0,
+                   .contrib_seed = options.contrib_seed,
+                   .sensor_population = options.sensor_population}) {}
+
+  EpochResult RunEpoch(uint32_t epoch) override {
+    return ToEpochResult(epoch, inner_.RunEpoch(epoch));
+  }
+  Strategy strategy() const override { return strategy_; }
+  Network& network() const override { return *network_; }
+  EngineCore core() const override { return EngineCore::kSoa; }
+  uint64_t nodes_reprocessed() const override {
+    return inner_.nodes_reprocessed();
+  }
+  void EnableRootCapture() override { inner_.EnableRootCapture(); }
+  RootState root_state() const override {
+    return RootState{inner_.root_partial(), inner_.root_synopsis()};
+  }
+  void OnTopologyChanged() override { inner_.OnTopologyChanged(); }
+  EngineStats stats() const override {
+    return EngineStats{.expansions = inner_.stats().expansions,
+                       .shrinks = inner_.stats().shrinks,
+                       .decisions = inner_.stats().decisions};
+  }
+  ScratchStats scratch_stats() const override {
+    return inner_.scratch_stats();
+  }
+  const RegionState* region() const override { return &inner_.region(); }
+  RegionState* mutable_region() override { return &inner_.region(); }
+
+ private:
+  static std::unique_ptr<AdaptationPolicy> MakePolicy(Strategy s) {
+    if (s == Strategy::kTdCoarse) return std::make_unique<TdCoarsePolicy>();
+    return std::make_unique<TdFinePolicy>();
+  }
+
+  std::shared_ptr<Network> network_;
+  Strategy strategy_;
+  SoaTributaryDeltaAggregator<A> inner_;
+};
+
 }  // namespace api_internal
 
-/// Builds a type-erased engine running `strategy` over `aggregate`. The
-/// scenario and aggregate must outlive the engine; the network is shared so
-/// several engines can ride one radio environment (and its RNG sequence).
+/// Builds a type-erased engine running `strategy` over `aggregate` on the
+/// chosen engine core (default: the object core). The scenario and
+/// aggregate must outlive the engine; the network is shared so several
+/// engines can ride one radio environment (and its RNG sequence). When
+/// options.capture_root_state is set, root capture is enabled here, so
+/// callers never have to poke the engine afterwards.
 template <Aggregate A>
 std::unique_ptr<Engine> MakeEngine(Strategy strategy, const Scenario& scenario,
                                    std::shared_ptr<Network> network,
                                    const A* aggregate,
-                                   EngineOptions options = {}) {
+                                   EngineOptions options = {},
+                                   EngineCore core = EngineCore::kObject) {
   TD_CHECK(network != nullptr);
   TD_CHECK(aggregate != nullptr);
+  std::unique_ptr<Engine> engine;
   switch (strategy) {
     case Strategy::kTag:
     case Strategy::kTagRetx:
-      return std::make_unique<api_internal::TreeEngine<A>>(
-          &scenario, std::move(network), aggregate, strategy, options);
+      if (core == EngineCore::kSoa) {
+        engine = std::make_unique<api_internal::SoaTreeEngine<A>>(
+            &scenario, std::move(network), aggregate, strategy, options);
+      } else {
+        engine = std::make_unique<api_internal::TreeEngine<A>>(
+            &scenario, std::move(network), aggregate, strategy, options);
+      }
+      break;
     case Strategy::kSynopsisDiffusion:
-      return std::make_unique<api_internal::MultipathEngine<A>>(
-          &scenario, std::move(network), aggregate, options);
+      if (core == EngineCore::kSoa) {
+        engine = std::make_unique<api_internal::SoaMultipathEngine<A>>(
+            &scenario, std::move(network), aggregate, options);
+      } else {
+        engine = std::make_unique<api_internal::MultipathEngine<A>>(
+            &scenario, std::move(network), aggregate, options);
+      }
+      break;
     case Strategy::kTributaryDelta:
     case Strategy::kTdCoarse:
-      return std::make_unique<api_internal::TributaryDeltaEngine<A>>(
-          &scenario, std::move(network), aggregate, strategy, options);
+      if (core == EngineCore::kSoa) {
+        engine = std::make_unique<api_internal::SoaTributaryDeltaEngine<A>>(
+            &scenario, std::move(network), aggregate, strategy, options);
+      } else {
+        engine = std::make_unique<api_internal::TributaryDeltaEngine<A>>(
+            &scenario, std::move(network), aggregate, strategy, options);
+      }
+      break;
   }
-  TD_CHECK(false);
-  return nullptr;
+  TD_CHECK(engine != nullptr);
+  if (options.capture_root_state) engine->EnableRootCapture();
+  return engine;
 }
 
 }  // namespace td

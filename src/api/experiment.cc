@@ -101,6 +101,16 @@ Experiment::Builder& Experiment::Builder::Strategy(td::Strategy strategy) {
   return *this;
 }
 
+Experiment::Builder& Experiment::Builder::Core(td::EngineCore core) {
+  core_ = core;
+  return *this;
+}
+
+Experiment::Builder& Experiment::Builder::CaptureRootState(bool capture) {
+  capture_root_state_ = capture;
+  return *this;
+}
+
 Experiment::Builder& Experiment::Builder::Options(EngineOptions options) {
   options_ = options;
   return *this;
@@ -214,6 +224,11 @@ Experiment Experiment::Builder::Build() {
                  kind_ == AggregateKind::kFrequentItems),
                "Dynamics() does not support kFrequentItems: its item "
                "streams and precision gradient assume a static tree");
+  TD_CHECK_MSG(!(core_ == EngineCore::kSoa && queries_.empty() &&
+                 kind_ == AggregateKind::kFrequentItems),
+               "Core(kSoa) does not support kFrequentItems: the frequent-"
+               "items engine has its own multi-path machinery with no SoA "
+               "twin; use the default object core");
   if (shared_network_) {
     TD_CHECK_MSG(loss_ == nullptr && !loss_factory_,
                  "LossModel()/GlobalLossRate() is incompatible with a "
@@ -365,9 +380,15 @@ Experiment Experiment::Builder::Build() {
   exp.population_ = static_cast<double>(sensors.size());
   TD_CHECK_GT(sensors.size(), 0u);
 
+  // Root capture resolves at the facade: an explicit CaptureRootState()
+  // request or any windowed query flips the engine option, and MakeEngine
+  // enables capture at construction -- nobody pokes the engine afterwards.
+  EngineOptions engine_options = options_;
+  if (capture_root_state_) engine_options.capture_root_state = true;
+
   auto install = [&]<typename A>(std::shared_ptr<A> aggregate) {
-    exp.engine_ =
-        MakeEngine(strategy_, sc, exp.network_, aggregate.get(), options_);
+    exp.engine_ = MakeEngine(strategy_, sc, exp.network_, aggregate.get(),
+                             engine_options, core_);
     exp.aggregate_ = std::move(aggregate);
   };
 
@@ -434,6 +455,13 @@ Experiment Experiment::Builder::Build() {
     if (truth_) exp.query_truths_[primary_] = truth_;
     exp.truth_ = exp.query_truths_[primary_];
 
+    // Windowed queries imply root capture; decided before the engine is
+    // built so MakeEngine can enable it at construction.
+    for (const td::Query& q : queries) {
+      if (q.window.windowed()) exp.any_window_ = true;
+    }
+    if (exp.any_window_) engine_options.capture_root_state = true;
+
     if (lowered_single) {
       // A one-query set lowers to the dedicated single-aggregate engine:
       // bit-identical to the QuerySetAggregate path (pinned by
@@ -459,9 +487,6 @@ Experiment Experiment::Builder::Build() {
     // sides exist is a strategy property: tree engines surface the exact
     // partial, synopsis diffusion the fused synopsis, Tributary-Delta
     // both. Capture stays off entirely for windowless experiments.
-    for (const td::Query& q : queries) {
-      if (q.window.windowed()) exp.any_window_ = true;
-    }
     if (exp.any_window_) {
       const WindowSides sides = RootStateSides(strategy_);
       exp.query_set_engine_ = !lowered_single;
@@ -486,7 +511,6 @@ Experiment Experiment::Builder::Build() {
               q.kind, q.window, q.quantile_p, std::move(inputs));
         }
       }
-      exp.engine_->EnableRootCapture();
     }
   }
 
@@ -625,12 +649,17 @@ RunResult Experiment::Run() {
   // Warmup results are discarded one by one (no batch accumulation).
   for (uint32_t e = 0; e < warmup_; ++e) StepEpoch(e);
   if (warmup_ > 0) network_->ResetEnergy();
+  const uint64_t reprocessed_before = engine_->nodes_reprocessed();
 
   RunResult out;
+  out.core = engine_->core();
   out.epochs.reserve(epochs_);
   for (uint32_t e = warmup_; e < warmup_ + epochs_; ++e) {
     out.epochs.push_back(StepEpoch(e));
   }
+  out.nodes_reprocessed_per_epoch =
+      static_cast<double>(engine_->nodes_reprocessed() - reprocessed_before) /
+      static_cast<double>(epochs_);
   out.contributing.reserve(out.epochs.size());
   for (const EpochResult& e : out.epochs) {
     out.contributing.push_back(static_cast<double>(e.true_contributing) /

@@ -111,8 +111,12 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(
     case AggregateKind::kSum: {
       UintReadingFn reading = q.reading;
       return [sensors_at, reading](uint32_t e) {
+        // Bind the list before iterating: range-for over *sensors_at(e)
+        // would destroy the temporary shared_ptr (and under dynamics the
+        // freshly built list it owns) before the loop body runs.
+        auto up = sensors_at(e);
         double t = 0;
-        for (NodeId v : *sensors_at(e)) {
+        for (NodeId v : *up) {
           t += static_cast<double>(reading(v, e));
         }
         return t;
@@ -149,8 +153,9 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(
     case AggregateKind::kUniqueCount: {
       UintReadingFn reading = q.reading;
       return [sensors_at, reading](uint32_t e) {
+        auto up = sensors_at(e);  // keep the list alive across the loop
         std::set<uint64_t> distinct;
-        for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
+        for (NodeId v : *up) distinct.insert(reading(v, e));
         return static_cast<double>(distinct.size());
       };
     }
@@ -186,7 +191,8 @@ WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
       UintReadingFn reading = q.reading;
       return [sensors_at, reading](uint32_t e) {
         WindowTruthInputs in;
-        for (NodeId v : *sensors_at(e)) {
+        auto up = sensors_at(e);  // keep the list alive across the loop
+        for (NodeId v : *up) {
           in.num += static_cast<double>(reading(v, e));
         }
         return in;
@@ -224,8 +230,9 @@ WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
       UintReadingFn reading = q.reading;
       return [sensors_at, reading](uint32_t e) {
         WindowTruthInputs in;
+        auto up = sensors_at(e);  // keep the list alive across the loop
         std::set<uint64_t> distinct;
-        for (NodeId v : *sensors_at(e)) distinct.insert(reading(v, e));
+        for (NodeId v : *up) distinct.insert(reading(v, e));
         in.distinct.assign(distinct.begin(), distinct.end());
         return in;
       };

@@ -1,0 +1,22 @@
+#include "core/soa_layout.h"
+
+namespace td {
+
+void UpstreamCsr::Build(const Rings& rings, const Connectivity& connectivity) {
+  const size_t n = rings.num_nodes();
+  TD_CHECK_EQ(n, connectivity.num_nodes());
+  offsets.assign(n + 1, 0);
+  targets.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v] = static_cast<uint32_t>(targets.size());
+    const int lv = rings.level(v);
+    if (lv > 0) {
+      for (NodeId w : connectivity.Neighbors(v)) {
+        if (rings.level(w) == lv - 1) targets.push_back(w);
+      }
+    }
+  }
+  offsets[n] = static_cast<uint32_t>(targets.size());
+}
+
+}  // namespace td

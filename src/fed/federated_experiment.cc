@@ -247,9 +247,13 @@ FederatedExperiment FederatedExperiment::Builder::Build() {
     }
     gw.aggregate =
         std::make_shared<QuerySetAggregate>(std::move(ops), primary_);
+    // The coordinator lives off every gateway's root state, so capture is
+    // switched on through the engine options rather than by reaching into
+    // the engine after construction.
+    EngineOptions gw_options = config.options;
+    gw_options.capture_root_state = true;
     gw.engine = MakeEngine(config.strategy, *gw.scenario, gw.network,
-                           gw.aggregate.get(), config.options);
-    gw.engine->EnableRootCapture();
+                           gw.aggregate.get(), gw_options);
 
     sides.push_back(gw.sides);
     exp.gateways_.push_back(std::move(gw));

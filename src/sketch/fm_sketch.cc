@@ -25,13 +25,18 @@ FmSketch::FmSketch(int num_bitmaps, uint64_t seed) : seed_(seed) {
 }
 
 void FmSketch::AddKey(uint64_t key) {
-  const uint64_t h = Hash64(key, seed_);
-  const size_t j = static_cast<size_t>(h % bitmaps_.size());
+  AddKeyBits(key, seed_, bitmaps_.data(), bitmaps_.size());
+}
+
+void FmSketch::AddKeyBits(uint64_t key, uint64_t seed, uint32_t* bank,
+                          size_t num_bitmaps) {
+  const uint64_t h = Hash64(key, seed);
+  const size_t j = static_cast<size_t>(h % num_bitmaps);
   // Geometric position from an independent hash: P(pos = b) = 2^-(b+1).
-  const uint64_t g = Hash64(key, seed_ ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const uint64_t g = Hash64(key, seed ^ 0xa5a5a5a5a5a5a5a5ULL);
   int pos = CountTrailingZeros64(g);
   if (pos >= kBitsPerBitmap) pos = kBitsPerBitmap - 1;
-  bitmaps_[j] |= (1u << pos);
+  bank[j] |= (1u << pos);
 }
 
 void FmSketch::AddValue(uint64_t key, uint64_t value) {
@@ -81,8 +86,12 @@ void FmSketch::AssignFrom(const FmSketch& other) {
 }
 
 void FmSketch::OrBits(const std::vector<uint32_t>& bits) {
-  TD_CHECK_EQ(bitmaps_.size(), bits.size());
-  for (size_t i = 0; i < bitmaps_.size(); ++i) bitmaps_[i] |= bits[i];
+  OrBits(bits.data(), bits.size());
+}
+
+void FmSketch::OrBits(const uint32_t* bits, size_t count) {
+  TD_CHECK_EQ(bitmaps_.size(), count);
+  for (size_t i = 0; i < count; ++i) bitmaps_[i] |= bits[i];
 }
 
 double FmSketch::Estimate() const {
@@ -96,10 +105,8 @@ double FmSketch::Estimate() const {
   return (k / kPhi) * (std::exp2(ratio) - std::exp2(-kKappa * ratio));
 }
 
-void FmValueMemo::AddValue(FmSketch* into, uint64_t key, uint64_t value) {
-  TD_DCHECK(into->seed() == seed_ &&
-            into->num_bitmaps() == scratch_.num_bitmaps());
-  if (value == 0) return;  // same no-op as FmSketch::AddValue
+const std::vector<uint32_t>& FmValueMemo::LookupBank(uint64_t key,
+                                                     uint64_t value) {
   Entry& e = cache_[key];
   if (e.bits.empty() || e.value != value) {
     ++misses_;
@@ -110,7 +117,23 @@ void FmValueMemo::AddValue(FmSketch* into, uint64_t key, uint64_t value) {
   } else {
     ++hits_;
   }
-  into->OrBits(e.bits);
+  return e.bits;
+}
+
+void FmValueMemo::AddValue(FmSketch* into, uint64_t key, uint64_t value) {
+  TD_DCHECK(into->seed() == seed_ &&
+            into->num_bitmaps() == scratch_.num_bitmaps());
+  if (value == 0) return;  // same no-op as FmSketch::AddValue
+  const std::vector<uint32_t>& bank = LookupBank(key, value);
+  into->OrBits(bank.data(), bank.size());
+}
+
+void FmValueMemo::AddValueTo(uint32_t* bank, size_t num_bitmaps, uint64_t key,
+                             uint64_t value) {
+  TD_DCHECK(static_cast<int>(num_bitmaps) == scratch_.num_bitmaps());
+  if (value == 0) return;  // same no-op as FmSketch::AddValue
+  const std::vector<uint32_t>& bits = LookupBank(key, value);
+  for (size_t i = 0; i < num_bitmaps; ++i) bank[i] |= bits[i];
 }
 
 size_t FmSketch::EncodedBytes() const { return BankRleBytes(bitmaps_); }

@@ -54,6 +54,16 @@ class FmSketch {
   /// below replays cached AddValue banks through this path.
   void OrBits(const std::vector<uint32_t>& bits);
 
+  /// Span form for callers that hold a bank as a slice of a larger arena
+  /// (the SoA engine core); same semantics, no temporary vector.
+  void OrBits(const uint32_t* bits, size_t count);
+
+  /// Sets the bit AddKey(key) would set, directly in a raw bank of
+  /// `num_bitmaps` 32-bit bitmaps under `seed`. AddKey and the SoA arena
+  /// kernels share this one hashing core, so the two paths cannot drift.
+  static void AddKeyBits(uint64_t key, uint64_t seed, uint32_t* bank,
+                         size_t num_bitmaps);
+
   /// PCSA estimate of the number of distinct insertions, with the standard
   /// small-range correction (k/phi * (2^{S/k} - 2^{-1.75 S/k})) so that an
   /// empty sketch estimates 0.
@@ -105,6 +115,11 @@ class FmValueMemo {
   /// share geometry and seed with the memo).
   void AddValue(FmSketch* into, uint64_t key, uint64_t value);
 
+  /// Arena form: ORs the same bank into a raw bank slice of the memo's
+  /// geometry (the SoA engines' contrib/synopsis arenas).
+  void AddValueTo(uint32_t* bank, size_t num_bitmaps, uint64_t key,
+                  uint64_t value);
+
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
 
@@ -113,6 +128,9 @@ class FmValueMemo {
     uint64_t value = 0;
     std::vector<uint32_t> bits;
   };
+
+  /// The cached (recomputing on miss) bank for (key, value); value > 0.
+  const std::vector<uint32_t>& LookupBank(uint64_t key, uint64_t value);
 
   uint64_t seed_;
   FmSketch scratch_;

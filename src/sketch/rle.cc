@@ -187,9 +187,8 @@ std::vector<uint64_t>& TransposeScratch() {
   return words;
 }
 
-void TransposeBank(const std::vector<uint32_t>& bitmaps,
+void TransposeBank(const uint32_t* bitmaps, size_t count,
                    std::vector<uint64_t>* words) {
-  const size_t count = bitmaps.size();
   const size_t total = count * 32;
   words->assign((total + 63) / 64, 0);
   for (size_t j = 0; j < count; ++j) {
@@ -261,7 +260,7 @@ std::vector<uint8_t> EncodeBankRle(const std::vector<uint32_t>& bitmaps) {
   BitWriter w;
   if (bitmaps.empty()) return w.bytes();
   std::vector<uint64_t>& words = TransposeScratch();
-  TransposeBank(bitmaps, &words);
+  TransposeBank(bitmaps.data(), bitmaps.size(), &words);
   w.WriteBit(words[0] & 1);
   ScanRuns(words, bitmaps.size() * 32, [&w](uint64_t run) { w.WriteGamma(run); });
   return w.bytes();
@@ -305,11 +304,15 @@ StatusOr<std::vector<uint32_t>> DecodeBankRle(const std::vector<uint8_t>& bytes,
 }
 
 size_t BankRleBytes(const std::vector<uint32_t>& bitmaps) {
-  if (bitmaps.empty()) return 0;
+  return BankRleBytes(bitmaps.data(), bitmaps.size());
+}
+
+size_t BankRleBytes(const uint32_t* bitmaps, size_t count) {
+  if (count == 0) return 0;
   std::vector<uint64_t>& words = TransposeScratch();
-  TransposeBank(bitmaps, &words);
+  TransposeBank(bitmaps, count, &words);
   size_t bits = 1;
-  ScanRuns(words, bitmaps.size() * 32,
+  ScanRuns(words, count * 32,
            [&bits](uint64_t run) { bits += GammaBits(run); });
   return (bits + 7) / 8;
 }

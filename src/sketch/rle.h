@@ -92,6 +92,12 @@ StatusOr<std::vector<uint32_t>> DecodeBankRle(const std::vector<uint8_t>& bytes,
 /// Encoded size in bytes of the bank codec.
 size_t BankRleBytes(const std::vector<uint32_t>& bitmaps);
 
+/// Span form of BankRleBytes for callers that hold a bank as a slice of a
+/// larger arena (the SoA engine core keeps every node's bank in one
+/// contiguous position-major array); sizing a slot must not force a copy
+/// into a temporary vector. Bit-identical to the vector overload.
+size_t BankRleBytes(const uint32_t* bitmaps, size_t count);
+
 }  // namespace td
 
 #endif  // TD_SKETCH_RLE_H_

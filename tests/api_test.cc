@@ -400,6 +400,41 @@ TEST(ExperimentTest, SharedNetworkDrivesMultipleEngines) {
             2 * (sc.tree.num_in_tree() - 1));
 }
 
+// The facade-level CaptureRootState switch must behave exactly like the
+// deprecated per-engine EnableRootCapture call it replaces: same sides
+// populated, zero extra radio traffic either way.
+TEST(ExperimentTest, CaptureRootStateMatchesDeprecatedEnableRootCapture) {
+  for (Strategy s : kAllStrategies) {
+    auto builder = [&] {
+      Experiment::Builder b;
+      b.Synthetic(41, 150)
+          .Aggregate(AggregateKind::kSum)
+          .Reading([](NodeId v, uint32_t e) { return v + e; })
+          .Strategy(s)
+          .GlobalLossRate(0.1)
+          .Epochs(1);
+      return b;
+    };
+    Experiment via_builder = builder().CaptureRootState().Build();
+    Experiment via_shim = builder().Build();
+    via_shim.engine().EnableRootCapture();  // deprecated path
+    EpochResult ra = via_builder.StepEpoch(0);
+    EpochResult rb = via_shim.StepEpoch(0);
+    EXPECT_EQ(ra.value, rb.value);
+    RootState sa = via_builder.engine().root_state();
+    RootState sb = via_shim.engine().root_state();
+    EXPECT_EQ(sa.tree_partial != nullptr, sb.tree_partial != nullptr);
+    EXPECT_EQ(sa.synopsis != nullptr, sb.synopsis != nullptr);
+    EXPECT_TRUE(sa.tree_partial != nullptr || sa.synopsis != nullptr);
+    // Without either switch no state is captured.
+    Experiment off = builder().Build();
+    off.StepEpoch(0);
+    RootState so = off.engine().root_state();
+    EXPECT_EQ(so.tree_partial, nullptr);
+    EXPECT_EQ(so.synopsis, nullptr);
+  }
+}
+
 TEST(ExperimentTest, StrategyAndRegionAccessors) {
   Experiment exp = Experiment::Builder()
                        .Synthetic(38, 100)

@@ -1,0 +1,263 @@
+// Tests for the SoA engine core (src/core/) and its backend-selection
+// facade surface. The load-bearing pins:
+//
+//   * bit-identity: Core(kSoa) reproduces Core(kObject) EXACTLY -- every
+//     epoch value, contributor count, reported count, byte/energy tally,
+//     adaptation counter, windowed series -- across all five strategies,
+//     the registry aggregates, query sets and dynamics. The SoA engines
+//     issue the identical Deliver/CountTransmission sequence against the
+//     shared network RNG, so any drift shows up as a hard mismatch here.
+//   * epoch deltas: unchanged readings replay cached self banks (the
+//     nodes_reprocessed_per_epoch observability), without perturbing
+//     results relative to full recompute.
+//   * determinism: Threads(1) == Threads(8) RunTrials on the SoA core.
+//   * rejection: Core(kSoa) + kFrequentItems dies with a useful message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "api/experiment.h"
+#include "workload/scenario.h"
+
+namespace td {
+namespace {
+
+uint64_t IdReading(NodeId node, uint32_t epoch) {
+  return node * 3 + epoch % 5;
+}
+
+uint64_t ConstantReading(NodeId node, uint32_t /*epoch*/) {
+  return node % 17 + 1;
+}
+
+// Perturbs a small pseudo-random subset of nodes each epoch; everyone else
+// keeps yesterday's reading, which is what the delta cache feeds on.
+uint64_t SparselyChangingReading(NodeId node, uint32_t epoch) {
+  if (node % 13 == epoch % 13) return node + epoch * 7 + 1;
+  return node % 23 + 1;
+}
+
+// Full bitwise comparison of two runs. EXPECT_EQ on doubles is exact
+// equality -- that is the point: the cores must not differ in the last ulp.
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].value, b.epochs[i].value) << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].true_contributing, b.epochs[i].true_contributing)
+        << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].reported_contributing,
+              b.epochs[i].reported_contributing)
+        << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].query_values, b.epochs[i].query_values)
+        << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].windowed_values, b.epochs[i].windowed_values)
+        << "epoch " << i;
+  }
+  EXPECT_EQ(a.rms, b.rms);
+  EXPECT_EQ(a.truths, b.truths);
+  EXPECT_EQ(a.contributing, b.contributing);
+  EXPECT_EQ(a.energy.bytes, b.energy.bytes);
+  EXPECT_EQ(a.energy.transmissions, b.energy.transmissions);
+  EXPECT_EQ(a.bytes_per_epoch, b.bytes_per_epoch);
+  EXPECT_EQ(a.header_bytes_per_epoch, b.header_bytes_per_epoch);
+  EXPECT_EQ(a.final_delta_size, b.final_delta_size);
+  EXPECT_EQ(a.stats.expansions, b.stats.expansions);
+  EXPECT_EQ(a.stats.shrinks, b.stats.shrinks);
+  EXPECT_EQ(a.stats.decisions, b.stats.decisions);
+  EXPECT_EQ(a.topology_repairs, b.topology_repairs);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].estimates, b.queries[i].estimates);
+    EXPECT_EQ(a.queries[i].rms, b.queries[i].rms);
+    EXPECT_EQ(a.queries[i].windowed_estimates,
+              b.queries[i].windowed_estimates);
+    EXPECT_EQ(a.queries[i].windowed_rms, b.queries[i].windowed_rms);
+  }
+}
+
+Experiment::Builder BaseBuilder(td::Strategy strategy, AggregateKind kind) {
+  Experiment::Builder b;
+  b.Synthetic(/*seed=*/7, /*num_sensors=*/300)
+      .Aggregate(kind)
+      .Reading(IdReading)
+      .Strategy(strategy)
+      .GlobalLossRate(0.2)
+      .NetworkSeed(11)
+      .Warmup(4)
+      .Epochs(12);
+  return b;
+}
+
+class CoreStrategyTest : public testing::TestWithParam<td::Strategy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, CoreStrategyTest,
+                         testing::ValuesIn(kAllStrategies),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Strategy::kTag: return "Tag";
+                             case Strategy::kTagRetx: return "TagRetx";
+                             case Strategy::kSynopsisDiffusion: return "SD";
+                             case Strategy::kTributaryDelta: return "TD";
+                             case Strategy::kTdCoarse: return "TdCoarse";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(CoreStrategyTest, SoaBitIdenticalToObjectAcrossRegistryAggregates) {
+  const AggregateKind kinds[] = {
+      AggregateKind::kCount,  AggregateKind::kSum,
+      AggregateKind::kAvg,    AggregateKind::kMin,
+      AggregateKind::kMax,    AggregateKind::kUniqueCount,
+      AggregateKind::kQuantile};
+  for (AggregateKind kind : kinds) {
+    RunResult obj =
+        BaseBuilder(GetParam(), kind).Core(EngineCore::kObject).Run();
+    RunResult soa = BaseBuilder(GetParam(), kind).Core(EngineCore::kSoa).Run();
+    SCOPED_TRACE(AggregateKindName(kind));
+    EXPECT_EQ(obj.core, EngineCore::kObject);
+    EXPECT_EQ(soa.core, EngineCore::kSoa);
+    ExpectBitIdentical(obj, soa);
+  }
+}
+
+TEST_P(CoreStrategyTest, SoaBitIdenticalOnQuerySetsAndWindows) {
+  auto make = [&](EngineCore core) {
+    Query count;
+    count.kind = AggregateKind::kCount;
+    Query sum;
+    sum.kind = AggregateKind::kSum;
+    sum.window = WindowSpec::Sliding(5);
+    Query avg;
+    avg.kind = AggregateKind::kAvg;
+    return Experiment::Builder()
+        .Synthetic(/*seed=*/9, /*num_sensors=*/256)
+        .AddQuery(count)
+        .AddQuery(sum)
+        .AddQuery(avg)
+        .Reading(IdReading)
+        .Strategy(GetParam())
+        .Core(core)
+        .GlobalLossRate(0.15)
+        .NetworkSeed(13)
+        .Warmup(3)
+        .Epochs(10)
+        .Run();
+  };
+  ExpectBitIdentical(make(EngineCore::kObject), make(EngineCore::kSoa));
+}
+
+TEST_P(CoreStrategyTest, SoaBitIdenticalUnderDynamics) {
+  auto make = [&](EngineCore core) {
+    DynamicsConfig config;
+    config.churn = ChurnConfig{
+        .fail_rate = 0.03, .mean_downtime = 6.0, .max_dead_fraction = 0.3};
+    return BaseBuilder(GetParam(), AggregateKind::kSum)
+        .Dynamics(config)
+        .Core(core)
+        .Run();
+  };
+  RunResult obj = make(EngineCore::kObject);
+  RunResult soa = make(EngineCore::kSoa);
+  EXPECT_GT(soa.topology_repairs, 0u);
+  ExpectBitIdentical(obj, soa);
+}
+
+// Delta path: replaying cached banks for unchanged readings must not change
+// anything relative to the full recompute the object core always does.
+TEST_P(CoreStrategyTest, EpochDeltaReplayMatchesFullRecompute) {
+  auto make = [&](EngineCore core) {
+    return BaseBuilder(GetParam(), AggregateKind::kSum)
+        .Reading(SparselyChangingReading)
+        .Core(core)
+        .Run();
+  };
+  ExpectBitIdentical(make(EngineCore::kObject), make(EngineCore::kSoa));
+}
+
+TEST(CoreDeltaTest, ConstantReadingsReplayEverything) {
+  RunResult r = BaseBuilder(Strategy::kSynopsisDiffusion, AggregateKind::kSum)
+                    .Reading(ConstantReading)
+                    .Core(EngineCore::kSoa)
+                    .Run();
+  // Every node's self bank was cached during warmup; measured epochs replay.
+  EXPECT_EQ(r.nodes_reprocessed_per_epoch, 0.0);
+
+  RunResult obj = BaseBuilder(Strategy::kSynopsisDiffusion, AggregateKind::kSum)
+                      .Reading(ConstantReading)
+                      .Core(EngineCore::kObject)
+                      .Run();
+  // The object core has no incremental path to observe.
+  EXPECT_EQ(obj.nodes_reprocessed_per_epoch, 0.0);
+  ExpectBitIdentical(obj, r);
+}
+
+TEST(CoreDeltaTest, SparseChangesReprocessOnlyTouchedNodes) {
+  RunResult r = BaseBuilder(Strategy::kSynopsisDiffusion, AggregateKind::kSum)
+                    .Reading(SparselyChangingReading)
+                    .Core(EngineCore::kSoa)
+                    .Run();
+  // ~2/13 of nodes change per epoch (this epoch's perturbed set plus last
+  // epoch's reverting back); everyone else replays.
+  EXPECT_GT(r.nodes_reprocessed_per_epoch, 0.0);
+  EXPECT_LT(r.nodes_reprocessed_per_epoch, 300.0 * 0.25);
+
+  RunResult churn = BaseBuilder(Strategy::kSynopsisDiffusion,
+                                AggregateKind::kSum)
+                        .Reading(IdReading)  // changes every epoch
+                        .Core(EngineCore::kSoa)
+                        .Run();
+  EXPECT_GT(churn.nodes_reprocessed_per_epoch,
+            r.nodes_reprocessed_per_epoch);
+}
+
+TEST(CoreTrialsTest, RunTrialsDeterministicAcrossThreadCountsOnSoa) {
+  auto sweep = [&](unsigned threads) {
+    return BaseBuilder(Strategy::kTributaryDelta, AggregateKind::kCount)
+        .Core(EngineCore::kSoa)
+        .Trials(6)
+        .Threads(threads)
+        .RunTrials();
+  };
+  SweepResult one = sweep(1);
+  SweepResult eight = sweep(8);
+  ASSERT_EQ(one.trials.size(), eight.trials.size());
+  for (size_t t = 0; t < one.trials.size(); ++t) {
+    ExpectBitIdentical(one.trials[t], eight.trials[t]);
+  }
+  EXPECT_EQ(one.rms.mean(), eight.rms.mean());
+  EXPECT_EQ(one.estimates.mean(), eight.estimates.mean());
+  EXPECT_EQ(one.estimates.stddev(), eight.estimates.stddev());
+}
+
+TEST(CoreApiTest, EngineReportsItsCore) {
+  Experiment obj = BaseBuilder(Strategy::kTag, AggregateKind::kCount).Build();
+  EXPECT_EQ(obj.engine().core(), EngineCore::kObject);
+  EXPECT_EQ(obj.engine().nodes_reprocessed(), 0u);
+
+  Experiment soa = BaseBuilder(Strategy::kTag, AggregateKind::kCount)
+                       .Core(EngineCore::kSoa)
+                       .Build();
+  EXPECT_EQ(soa.engine().core(), EngineCore::kSoa);
+  soa.StepEpoch(0);
+  EXPECT_GT(soa.engine().nodes_reprocessed(), 0u);
+}
+
+TEST(CoreApiTest, EngineCoreNames) {
+  EXPECT_STREQ(EngineCoreName(EngineCore::kObject), "object");
+  EXPECT_STREQ(EngineCoreName(EngineCore::kSoa), "soa");
+}
+
+TEST(CoreRejectionDeathTest, SoaRejectsFrequentItems) {
+  EXPECT_DEATH(Experiment::Builder()
+                   .Synthetic(3, 64)
+                   .Aggregate(AggregateKind::kFrequentItems)
+                   .Strategy(Strategy::kSynopsisDiffusion)
+                   .Core(EngineCore::kSoa)
+                   .Epochs(1)
+                   .Build(),
+               "kFrequentItems");
+}
+
+}  // namespace
+}  // namespace td

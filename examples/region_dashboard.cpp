@@ -1,0 +1,78 @@
+// Region dashboard: spatial group-by over one deployment. A 2x2 grid of
+// the deployment's bounding box partitions 500 sensors into quadrants
+// (quant/region_grid.h); two grouped queries run through ONE experiment:
+//
+//   * per-quadrant p95 light level, answered by the q-digest quantile
+//     summary (kQuantileQd) -- error-bounded, losslessly mergeable, one
+//     digest payload per quadrant riding up the same tree;
+//   * per-quadrant distinct light levels, answered by the grouped
+//     duplicate-insensitive KMV distinct-count synopsis.
+//
+// The per-group answers come back in QuerySeries::group_estimates next to
+// the ordinary global series; group_rms compares each quadrant against a
+// per-quadrant exact recomputation. On the lossless TD tree the digest
+// compresses per hop yet keeps every quadrant's p95 inside its
+// bits * floor(n/k) / n rank bound.
+#include <cstdio>
+
+#include "api/experiment.h"
+
+using namespace td;
+
+namespace {
+
+// Synthetic light levels in a 12-bit domain; the node term spreads the
+// quadrants apart so the per-region quantiles differ visibly.
+uint64_t LightLevel(NodeId v, uint32_t e) {
+  return (v * 131 + static_cast<uint64_t>(e) * 17) % 4096;
+}
+
+}  // namespace
+
+int main() {
+  const Scenario sc = MakeSyntheticScenario(/*seed=*/41, /*num_sensors=*/500);
+
+  RunResult r =
+      Experiment::Builder()
+          .Scenario(&sc)
+          .AddQuery(Query{.kind = AggregateKind::kQuantileQd,
+                          .name = "p95Light",
+                          .quantile_p = 0.95,
+                          .digest_bits = 12,
+                          .digest_k = 64}
+                        .GroupBy(RegionSpec::Grid(2, 2)))
+          .AddQuery(Query{.kind = AggregateKind::kUniqueCount,
+                          .name = "distinct"}
+                        .GroupBy(RegionSpec::Grid(2, 2)))
+          .Reading(LightLevel)
+          .Strategy(Strategy::kTributaryDelta)
+          .Warmup(5)
+          .Epochs(30)
+          .Run();
+
+  const QuerySeries& p95 = r.queries[0];
+  const QuerySeries& distinct = r.queries[1];
+  const size_t groups = p95.group_names.size();
+  const size_t last = p95.estimates.size() - 1;
+
+  std::printf("Region dashboard: 500 sensors, 2x2 grid, strategy TD\n");
+  std::printf("(q-digest p95: 12-bit domain, k = 64; distinct: KMV)\n\n");
+  std::printf("%-10s %10s %12s %10s %12s\n", "quadrant", "p95_light",
+              "p95_rms", "distinct", "distinct_rms");
+  for (size_t g = 0; g < groups; ++g) {
+    std::printf("%-10s %10.0f %12.4f %10.0f %12.4f\n",
+                p95.group_names[g].c_str(), p95.group_estimates[g][last],
+                p95.group_rms[g], distinct.group_estimates[g][last],
+                distinct.group_rms[g]);
+  }
+  std::printf("%-10s %10.0f %12.4f %10.0f %12.4f\n", "city-wide",
+              p95.estimates[last], p95.rms, distinct.estimates[last],
+              distinct.rms);
+
+  std::printf(
+      "\nEach quadrant's digest merges losslessly up the shared tree -- the "
+      "grouped\nquery costs one payload vector per message, not one query "
+      "per region. The\nrms columns compare every quadrant against an exact "
+      "per-quadrant recompute\nover the measured epochs.\n");
+  return 0;
+}

@@ -61,6 +61,13 @@ struct EpochResult {
   /// instantaneous answer for windowless ones (a windowless query behaves
   /// like a width-1 window). Empty when no query is windowed.
   std::vector<double> windowed_values;
+
+  /// Filled by Experiment::StepEpoch (not by engines) when any query
+  /// carries a spatial group-by (Query::GroupBy): group_values[i][g] is
+  /// query i's estimate for group g, sliced from the captured root state.
+  /// Ungrouped queries keep an empty inner vector. Empty when no query is
+  /// grouped.
+  std::vector<std::vector<double>> group_values;
 };
 
 /// Type-erased view of the base station's root aggregate state after one

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 #include <type_traits>
+#include <utility>
 
 #include "agg/aggregates.h"
 #include "topology/domination.h"
@@ -441,6 +442,14 @@ Experiment Experiment::Builder::Build() {
     for (td::Query& q : queries) {
       q = api_internal::ResolveQuery(std::move(q), reading_, real_reading_,
                                      sketch_bitmaps_);
+      // Spatial group-by resolves against the scenario (deployment
+      // bounding box, hop rings): the resolved partition rides on the
+      // query so VisitQueryAggregate wraps its aggregate per group.
+      if (q.group_by.active()) {
+        q.resolved_groups = std::make_shared<const RegionGrid>(
+            q.group_by, sc.deployment, sc.rings, sensors);
+        exp.any_group_ = true;
+      }
     }
     TD_CHECK_MSG(primary_ < queries.size(),
                  "PrimaryQuery(index) is out of range of the AddQuery list");
@@ -448,19 +457,31 @@ Experiment Experiment::Builder::Build() {
     exp.primary_ = primary_;
     for (const td::Query& q : queries) {
       exp.query_names_.push_back(q.name);
+      // A grouped query's global truth ranges over the sensors its
+      // partition covers (grid/ring partitions cover every sensor;
+      // explicit cohorts may not), matching what the grouped payloads
+      // aggregate.
+      api_internal::SensorListFn truth_sensors =
+          q.resolved_groups != nullptr
+              ? api_internal::FilterSensorsByGroup(sensors_at,
+                                                   q.resolved_groups, -1)
+              : sensors_at;
       exp.query_truths_.push_back(
-          api_internal::MakeDefaultQueryTruth(q, sensors_at));
+          api_internal::MakeDefaultQueryTruth(q, truth_sensors));
     }
     // Builder-level Truth() overrides the primary query's default.
     if (truth_) exp.query_truths_[primary_] = truth_;
     exp.truth_ = exp.query_truths_[primary_];
 
-    // Windowed queries imply root capture; decided before the engine is
-    // built so MakeEngine can enable it at construction.
+    // Windowed and grouped queries imply root capture; decided before the
+    // engine is built so MakeEngine can enable it at construction.
     for (const td::Query& q : queries) {
       if (q.window.windowed()) exp.any_window_ = true;
     }
-    if (exp.any_window_) engine_options.capture_root_state = true;
+    if (exp.any_window_ || exp.any_group_) {
+      engine_options.capture_root_state = true;
+      exp.query_set_engine_ = !lowered_single;
+    }
 
     if (lowered_single) {
       // A one-query set lowers to the dedicated single-aggregate engine:
@@ -489,7 +510,6 @@ Experiment Experiment::Builder::Build() {
     // both. Capture stays off entirely for windowless experiments.
     if (exp.any_window_) {
       const WindowSides sides = RootStateSides(strategy_);
-      exp.query_set_engine_ = !lowered_single;
       exp.window_states_.resize(queries.size());
       for (size_t i = 0; i < queries.size(); ++i) {
         const td::Query& q = queries[i];
@@ -509,6 +529,32 @@ Experiment Experiment::Builder::Build() {
         if (inputs) {
           ws.truth = std::make_unique<WindowTruth>(
               q.kind, q.window, q.quantile_p, std::move(inputs));
+        }
+      }
+    }
+
+    // Grouped queries: a per-group evaluator over the same captured root
+    // state the windows read, plus one exact default truth per region.
+    // The evaluator's aggregate comes from the same VisitQueryAggregate
+    // dispatch as the engine's, so the opaque payloads line up exactly.
+    if (exp.any_group_) {
+      exp.group_states_.resize(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const td::Query& q = queries[i];
+        if (q.resolved_groups == nullptr) continue;
+        Experiment::QueryGroupState& gs = exp.group_states_[i];
+        gs.eval = api_internal::MakeGroupEval(q);
+        gs.names = q.resolved_groups->names();
+        // A caller-supplied truth (per-query or builder-level on the
+        // primary) says nothing about the regions, so the per-group truth
+        // series stays empty -- mirroring the windowed-truth rule.
+        if (q.truth) continue;
+        if (i == primary_ && truth_) continue;
+        gs.truths.reserve(q.resolved_groups->num_groups());
+        for (int g = 0; g < q.resolved_groups->num_groups(); ++g) {
+          gs.truths.push_back(api_internal::MakeDefaultQueryTruth(
+              q, api_internal::FilterSensorsByGroup(sensors_at,
+                                                    q.resolved_groups, g)));
         }
       }
     }
@@ -610,26 +656,15 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
       engine_->OnTopologyChanged();
     }
   }
-  if (any_window_) {
-    // Feed every windowed query its slice of the captured root state; one
-    // window tick per StepEpoch call (warmup included -- standing queries
-    // don't reset their history when measurement starts).
+  if (any_window_ || any_group_) {
+    // Both consumers read the same captured root state: fetched once.
     const RootState rs = engine_->root_state();
-    const size_t nq = window_states_.size();
-    r.windowed_values.resize(nq);
-    for (size_t i = 0; i < nq; ++i) {
-      QueryWindowState& ws = window_states_[i];
-      if (ws.window == nullptr) {
-        // A windowless query behaves like a width-1 window: report the
-        // instantaneous answer.
-        r.windowed_values[i] =
-            r.query_values.size() == nq ? r.query_values[i] : r.value;
-        continue;
-      }
+    // Query-set engines hold one payload per member query; this slices
+    // query i's sides out (either may be null, a strategy property).
+    auto query_sides = [&](size_t i) {
       const void* p = rs.tree_partial;
       const void* s = rs.synopsis;
       if (query_set_engine_) {
-        // Query-set engines hold one payload per member query.
         p = p == nullptr
                 ? nullptr
                 : static_cast<const QuerySetTreePartial*>(p)->q[i].get();
@@ -637,8 +672,39 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
                 ? nullptr
                 : static_cast<const QuerySetSynopsis*>(s)->q[i].get();
       }
-      r.windowed_values[i] = ws.window->Observe(p, s);
-      if (ws.truth != nullptr) ws.truths.push_back(ws.truth->Observe(epoch));
+      return std::pair<const void*, const void*>(p, s);
+    };
+    if (any_window_) {
+      // Feed every windowed query its slice of the captured root state;
+      // one window tick per StepEpoch call (warmup included -- standing
+      // queries don't reset their history when measurement starts).
+      const size_t nq = window_states_.size();
+      r.windowed_values.resize(nq);
+      for (size_t i = 0; i < nq; ++i) {
+        QueryWindowState& ws = window_states_[i];
+        if (ws.window == nullptr) {
+          // A windowless query behaves like a width-1 window: report the
+          // instantaneous answer.
+          r.windowed_values[i] =
+              r.query_values.size() == nq ? r.query_values[i] : r.value;
+          continue;
+        }
+        auto [p, s] = query_sides(i);
+        r.windowed_values[i] = ws.window->Observe(p, s);
+        if (ws.truth != nullptr) ws.truths.push_back(ws.truth->Observe(epoch));
+      }
+    }
+    if (any_group_) {
+      // Slice per-group estimates out of each grouped query's payloads;
+      // ungrouped queries keep an empty inner vector.
+      const size_t nq = group_states_.size();
+      r.group_values.resize(nq);
+      for (size_t i = 0; i < nq; ++i) {
+        QueryGroupState& gs = group_states_[i];
+        if (gs.eval == nullptr) continue;
+        auto [p, s] = query_sides(i);
+        gs.eval->Evaluate(p, s, &r.group_values[i]);
+      }
     }
   }
   return r;
@@ -710,6 +776,39 @@ RunResult Experiment::Run() {
                                       ws.truths.end());
         series.windowed_rms = RelativeRmsError(series.windowed_estimates,
                                                series.windowed_truths);
+      }
+    }
+    // Grouped series: per-region estimate streams sliced by StepEpoch,
+    // with per-region exact truths when no caller override suppressed
+    // them (group_estimates[g][e] indexing: region-major for plotting).
+    for (size_t i = 0; i < group_states_.size(); ++i) {
+      QueryGroupState& gs = group_states_[i];
+      if (gs.eval == nullptr) continue;
+      QuerySeries& series = out.queries[i];
+      const size_t ng = gs.eval->num_groups();
+      series.group_names = gs.names;
+      series.group_estimates.assign(ng, {});
+      for (size_t g = 0; g < ng; ++g) {
+        series.group_estimates[g].reserve(out.epochs.size());
+      }
+      for (const EpochResult& e : out.epochs) {
+        TD_DCHECK(e.group_values.size() == nq &&
+                  e.group_values[i].size() == ng);
+        for (size_t g = 0; g < ng; ++g) {
+          series.group_estimates[g].push_back(e.group_values[i][g]);
+        }
+      }
+      if (gs.truths.empty()) continue;
+      TD_DCHECK(gs.truths.size() == ng);
+      series.group_truths.assign(ng, {});
+      series.group_rms.resize(ng);
+      for (size_t g = 0; g < ng; ++g) {
+        series.group_truths[g].reserve(out.epochs.size());
+        for (const EpochResult& e : out.epochs) {
+          series.group_truths[g].push_back(gs.truths[g](e.epoch));
+        }
+        series.group_rms[g] = RelativeRmsError(series.group_estimates[g],
+                                               series.group_truths[g]);
       }
     }
     // truth_ aliases the primary query's truth, so the top-level series

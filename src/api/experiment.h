@@ -69,6 +69,16 @@ struct QuerySeries {
   /// over the whole run (warmup included). Sliding windows stay <= 2 per
   /// epoch, the two-stacks amortized bound (gated by bench_windows).
   size_t window_merges = 0;
+
+  /// Grouped queries only (Query::GroupBy): one entry per region, sliced
+  /// from the captured root state at zero extra radio bytes.
+  /// group_estimates[g][e] is group g's estimate at measured epoch e;
+  /// group_truths/group_rms mirror the global truth machinery per group
+  /// (empty when the query's truth was overridden by the caller).
+  std::vector<std::string> group_names;
+  std::vector<std::vector<double>> group_estimates;
+  std::vector<std::vector<double>> group_truths;
+  std::vector<double> group_rms;
 };
 
 /// Batch outcome of Experiment::Run: the measured epochs plus the derived
@@ -231,6 +241,18 @@ class Experiment {
   bool any_window_ = false;
   // True when root state is QuerySet{TreePartial,Synopsis} payload vectors.
   bool query_set_engine_ = false;
+
+  // Spatial group-by (quant/): one slot per query when any query carries a
+  // GroupBy. StepEpoch slices per-group estimates out of the captured root
+  // state; Run assembles per-group series and truths.
+  struct QueryGroupState {
+    std::unique_ptr<api_internal::GroupEval> eval;  // null when ungrouped
+    std::vector<std::string> names;
+    // Per-group exact truths; empty when the query's truth was overridden.
+    std::vector<std::function<double(uint32_t)>> truths;
+  };
+  std::vector<QueryGroupState> group_states_;
+  bool any_group_ = false;
 };
 
 class Experiment::Builder {

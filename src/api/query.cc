@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <type_traits>
 #include <utility>
 
 #include "sketch/fm_sketch.h"
@@ -15,6 +16,12 @@ namespace {
 /// Default synopsis seeds per kind, matching the aggregate constructors'
 /// defaults so query sets and directly constructed aggregates agree
 /// bit-for-bit.
+bool IsQDigestKind(AggregateKind kind) {
+  return kind == AggregateKind::kQuantileQd ||
+         kind == AggregateKind::kHistogramQd ||
+         kind == AggregateKind::kRangeCountQd;
+}
+
 uint64_t DefaultSeed(AggregateKind kind) {
   switch (kind) {
     case AggregateKind::kCount:
@@ -37,7 +44,7 @@ uint64_t DefaultSeed(AggregateKind kind) {
 bool NeedsUintReading(AggregateKind kind) {
   return kind == AggregateKind::kSum || kind == AggregateKind::kAvg ||
          kind == AggregateKind::kUniqueCount ||
-         kind == AggregateKind::kEwma;
+         kind == AggregateKind::kEwma || IsQDigestKind(kind);
 }
 
 bool NeedsRealReading(AggregateKind kind) {
@@ -85,11 +92,50 @@ Query ResolveQuery(Query q, const UintReadingFn& builder_reading,
                "on the query or on the builder");
   TD_CHECK_MSG(q.quantile_p >= 0.0 && q.quantile_p <= 1.0,
                "Query::quantile_p must lie in [0, 1]");
+  if (IsQDigestKind(q.kind)) {
+    if (q.digest_bits == 0) q.digest_bits = 16;
+    if (q.digest_k == 0) q.digest_k = 32;
+    TD_CHECK_MSG(q.digest_bits >= 1 && q.digest_bits <= 32,
+                 "Query::digest_bits must lie in [1, 32]: the q-digest "
+                 "domain is [0, 2^bits) over integer readings");
+    TD_CHECK_MSG(q.digest_k >= 1,
+                 "Query::digest_k must be >= 1: the q-digest rank error "
+                 "bound is digest_bits / digest_k");
+    if (q.kind == AggregateKind::kQuantileQd) {
+      TD_CHECK_MSG(q.quantile_p > 0.0 && q.quantile_p < 1.0,
+                   "Query::quantile_p must lie strictly in (0, 1) for "
+                   "kQuantileQd: the q-digest rank bound is vacuous at "
+                   "the endpoints");
+    }
+    if (q.kind == AggregateKind::kRangeCountQd) {
+      if (q.range_lo == 0 && q.range_hi == 0) {
+        q.range_hi = (1ull << q.digest_bits) - 1;  // full domain
+      }
+      TD_CHECK_MSG(
+          q.range_lo <= q.range_hi && q.range_hi < (1ull << q.digest_bits),
+          "kRangeCountQd needs range_lo <= range_hi < 2^digest_bits");
+    }
+    if (q.kind == AggregateKind::kHistogramQd) {
+      if (q.histogram_buckets == 0) q.histogram_buckets = 8;
+      TD_CHECK_MSG(q.histogram_buckets >= 1 &&
+                       (q.histogram_buckets & (q.histogram_buckets - 1)) ==
+                           0 &&
+                       static_cast<uint64_t>(q.histogram_buckets) <=
+                           (1ull << q.digest_bits),
+                   "Query::histogram_buckets must be a power of two within "
+                   "the value domain");
+    }
+  }
   // An EWMA query IS its decayed window; default one in when the caller
   // didn't pick an explicit shape.
   if (q.kind == AggregateKind::kEwma && !q.window.windowed()) {
     q.window = WindowSpec::Decayed(kDefaultEwmaAlpha);
   }
+  TD_CHECK_MSG(!(q.group_by.active() &&
+                 q.window.kind == WindowKind::kDecayed),
+               "GroupBy is incompatible with a decayed window: the EWMA "
+               "num/den split runs over the global scalar and would smear "
+               "the grouped ratio; use a sliding window instead");
   ValidateWindowSpec(q.window, q.kind);
   return q;
 }
@@ -171,6 +217,59 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(
         return Quantile(std::move(values), p);
       };
     }
+    case AggregateKind::kQuantileQd: {
+      // Exact nearest-rank quantile over the integer readings -- the
+      // value the digest approximates within digest_bits / digest_k.
+      UintReadingFn reading = q.reading;
+      const double p = q.quantile_p;
+      return [sensors_at, reading, p](uint32_t e) {
+        auto up = sensors_at(e);  // keep the list alive across the loop
+        if (up->empty()) return 0.0;
+        std::vector<double> values;
+        values.reserve(up->size());
+        for (NodeId v : *up) {
+          values.push_back(static_cast<double>(reading(v, e)));
+        }
+        return Quantile(std::move(values), p);
+      };
+    }
+    case AggregateKind::kRangeCountQd: {
+      UintReadingFn reading = q.reading;
+      const uint64_t lo = q.range_lo;
+      const uint64_t hi = q.range_hi;
+      return [sensors_at, reading, lo, hi](uint32_t e) {
+        auto up = sensors_at(e);
+        double count = 0.0;
+        for (NodeId v : *up) {
+          const uint64_t r = reading(v, e);
+          if (r >= lo && r <= hi) count += 1.0;
+        }
+        return count;
+      };
+    }
+    case AggregateKind::kHistogramQd: {
+      // Exact modal-bucket midpoint, computed with the same bucket edges
+      // and tie-break (lowest bucket) as QDigest::HistogramMode.
+      UintReadingFn reading = q.reading;
+      const int buckets = q.histogram_buckets;
+      const uint64_t width =
+          (1ull << q.digest_bits) / static_cast<uint64_t>(buckets);
+      return [sensors_at, reading, buckets, width](uint32_t e) {
+        auto up = sensors_at(e);
+        std::vector<uint64_t> counts(static_cast<size_t>(buckets), 0);
+        for (NodeId v : *up) {
+          size_t b = static_cast<size_t>(reading(v, e) / width);
+          if (b >= counts.size()) b = counts.size() - 1;
+          ++counts[b];
+        }
+        size_t best = 0;
+        for (size_t b = 1; b < counts.size(); ++b) {
+          if (counts[b] > counts[best]) best = b;
+        }
+        return static_cast<double>(best) * static_cast<double>(width) +
+               static_cast<double>(width) * 0.5;
+      };
+    }
     case AggregateKind::kFrequentItems:
       break;
   }
@@ -247,10 +346,85 @@ WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
         return in;
       };
     }
+    case AggregateKind::kQuantileQd: {
+      // Pooled-multiset semantics, like kQuantile, but over the integer
+      // reading the digest summarizes.
+      UintReadingFn reading = q.reading;
+      return [sensors_at, reading](uint32_t e) {
+        WindowTruthInputs in;
+        auto up = sensors_at(e);
+        in.values.reserve(up->size());
+        for (NodeId v : *up) {
+          in.values.push_back(static_cast<double>(reading(v, e)));
+        }
+        return in;
+      };
+    }
+    case AggregateKind::kRangeCountQd:
+    case AggregateKind::kHistogramQd:
+      // No windowed ground truth: WindowTruth's Combine would need the
+      // query's range / bucket parameters, which it does not carry. The
+      // windowed estimate series still runs; its truth series stays
+      // empty (same contract as a caller-overridden truth).
+      return nullptr;
     case AggregateKind::kFrequentItems:
       break;
   }
   return nullptr;
+}
+
+SensorListFn FilterSensorsByGroup(SensorListFn sensors_at,
+                                  std::shared_ptr<const RegionGrid> grid,
+                                  int group) {
+  TD_CHECK(grid != nullptr);
+  return [sensors_at, grid, group](uint32_t e) {
+    auto up = sensors_at(e);  // keep the source list alive while filtering
+    auto filtered = std::make_shared<std::vector<NodeId>>();
+    filtered->reserve(up->size());
+    for (NodeId v : *up) {
+      const int g = grid->GroupOf(v);
+      if (group < 0 ? g >= 0 : g == group) filtered->push_back(v);
+    }
+    return std::shared_ptr<const std::vector<NodeId>>(std::move(filtered));
+  };
+}
+
+namespace {
+
+/// GroupEval over the concrete GroupByAggregate type VisitQueryAggregate
+/// builds for the query -- the casts below are the exact inverse of the
+/// engine's own root-state type erasure.
+template <typename A>
+class GroupEvalImpl final : public GroupEval {
+ public:
+  explicit GroupEvalImpl(A aggregate) : agg_(std::move(aggregate)) {}
+
+  size_t num_groups() const override { return agg_.num_groups(); }
+
+  void Evaluate(const void* tree_partial, const void* synopsis,
+                std::vector<double>* out) const override {
+    agg_.EvaluateGroups(
+        static_cast<const typename A::TreePartial*>(tree_partial),
+        static_cast<const typename A::Synopsis*>(synopsis), out);
+  }
+
+ private:
+  A agg_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupEval> MakeGroupEval(const Query& q) {
+  if (q.resolved_groups == nullptr) return nullptr;
+  return VisitQueryAggregate(
+      q, [](auto agg) -> std::unique_ptr<GroupEval> {
+        using A = std::decay_t<decltype(agg)>;
+        if constexpr (quant_internal::IsGroupBy<A>::value) {
+          return std::make_unique<GroupEvalImpl<A>>(std::move(agg));
+        } else {
+          return nullptr;  // unreachable: resolved_groups forces the wrap
+        }
+      });
 }
 
 }  // namespace api_internal

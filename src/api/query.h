@@ -27,6 +27,9 @@
 #include "agg/aggregates.h"
 #include "agg/query_set.h"
 #include "api/strategy.h"
+#include "quant/group_by.h"
+#include "quant/qdigest_aggregate.h"
+#include "quant/region_grid.h"
 #include "util/check.h"
 #include "window/window.h"
 #include "window/window_truth.h"
@@ -60,10 +63,35 @@ struct Query {
   /// decorrelate their sketch error.
   uint64_t sketch_seed = 0;
 
-  /// kQuantile only: which quantile (median by default) and the uniform
-  /// sample capacity (0 -> kDefaultQuantileSampleSize).
+  /// kQuantile / kQuantileQd: which quantile (median by default); the
+  /// uniform sample capacity applies to kQuantile only
+  /// (0 -> kDefaultQuantileSampleSize). kQuantileQd requires a strict
+  /// p in (0, 1).
   double quantile_p = 0.5;
   size_t sample_size = 0;
+
+  /// q-digest kinds (kQuantileQd / kHistogramQd / kRangeCountQd) only:
+  /// value domain [0, 2^digest_bits) (0 -> 16 bits) and compression
+  /// parameter k (0 -> 32; rank error <= digest_bits / digest_k).
+  int digest_bits = 0;
+  int digest_k = 0;
+
+  /// kRangeCountQd only: inclusive value range; both 0 means the full
+  /// domain [0, 2^digest_bits).
+  uint64_t range_lo = 0;
+  uint64_t range_hi = 0;
+
+  /// kHistogramQd only: equal-width buckets over the domain; must be a
+  /// power of two (0 -> 8).
+  int histogram_buckets = 0;
+
+  /// Spatial group-by (src/quant/): partitions the sensors into regions
+  /// and carries one payload per region, so the run reports per-group
+  /// estimates/truths/rms in QuerySeries alongside the global scalar.
+  /// Inactive by default. Resolved against the scenario by the Experiment
+  /// builder into `resolved_groups`.
+  RegionSpec group_by;
+  std::shared_ptr<const RegionGrid> resolved_groups;
 
   /// Per-epoch ground truth override; unset derives the exact truth from
   /// the kind and reading function.
@@ -85,6 +113,17 @@ struct Query {
   }
   Query& Window(WindowSpec spec) & {
     window = spec;
+    return *this;
+  }
+
+  /// Fluent form of the spatial group-by:
+  /// Query{.kind = kSum}.GroupBy(RegionSpec::Grid(2, 2)).
+  Query&& GroupBy(RegionSpec spec) && {
+    group_by = std::move(spec);
+    return std::move(*this);
+  }
+  Query& GroupBy(RegionSpec spec) & {
+    group_by = std::move(spec);
     return *this;
   }
 };
@@ -109,31 +148,64 @@ Query ResolveQuery(Query q, const UintReadingFn& builder_reading,
 /// MakeQueryOps go through it, so the two can never drift apart and break
 /// the "Aggregate(kind) is bit-identical to a one-query set" contract.
 /// kFrequentItems (rejected by ResolveQuery) aborts.
+/// The q-digest parameters a resolved query describes.
+inline QDigestParams QueryDigestParams(const Query& q) {
+  QDigestParams params;
+  params.bits = q.digest_bits;
+  params.k = q.digest_k;
+  params.quantile_p = q.quantile_p;
+  params.range_lo = q.range_lo;
+  params.range_hi = q.range_hi;
+  params.histogram_buckets = q.histogram_buckets;
+  return params;
+}
+
 template <typename F>
 auto VisitQueryAggregate(const Query& q, F&& f) {
+  // Grouped queries (resolved_groups set by Experiment::Builder::Build)
+  // wrap the kind's aggregate in a GroupByAggregate carrying one payload
+  // per region; ungrouped queries pass the aggregate through untouched.
+  auto g = [&](auto agg) {
+    if (q.resolved_groups != nullptr) {
+      return f(GroupByAggregate<decltype(agg)>(q.resolved_groups,
+                                               std::move(agg)));
+    }
+    return f(std::move(agg));
+  };
   switch (q.kind) {
     case AggregateKind::kCount:
-      return f(CountAggregate(q.sketch_bitmaps, q.sketch_seed));
+      return g(CountAggregate(q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kSum:
-      return f(SumAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+      return g(SumAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kAvg:
-      return f(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+      return g(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kEwma:
       // Radio-side an EWMA query IS an average (invertible Sum/Count
       // pair); the decay happens in the window layer at the base station.
-      return f(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
+      return g(AverageAggregate(q.reading, q.sketch_bitmaps, q.sketch_seed));
     case AggregateKind::kMin:
-      return f(ExtremumAggregate(ExtremumAggregate::Kind::kMin,
+      return g(ExtremumAggregate(ExtremumAggregate::Kind::kMin,
                                  q.real_reading));
     case AggregateKind::kMax:
-      return f(ExtremumAggregate(ExtremumAggregate::Kind::kMax,
+      return g(ExtremumAggregate(ExtremumAggregate::Kind::kMax,
                                  q.real_reading));
     case AggregateKind::kUniqueCount:
-      return f(UniqueCountAggregate(q.reading, q.sketch_bitmaps,
+      return g(UniqueCountAggregate(q.reading, q.sketch_bitmaps,
                                     q.sketch_seed));
     case AggregateKind::kQuantile:
-      return f(QuantileAggregate(q.real_reading, q.quantile_p,
+      return g(QuantileAggregate(q.real_reading, q.quantile_p,
                                  q.sample_size, q.sketch_seed));
+    case AggregateKind::kQuantileQd:
+      return g(QDigestAggregate(q.reading, QDigestAggregate::Answer::kQuantile,
+                                QueryDigestParams(q)));
+    case AggregateKind::kHistogramQd:
+      return g(QDigestAggregate(q.reading,
+                                QDigestAggregate::Answer::kHistogramMode,
+                                QueryDigestParams(q)));
+    case AggregateKind::kRangeCountQd:
+      return g(QDigestAggregate(q.reading,
+                                QDigestAggregate::Answer::kRangeCount,
+                                QueryDigestParams(q)));
     case AggregateKind::kFrequentItems:
       break;
   }
@@ -157,6 +229,32 @@ std::function<double(uint32_t)> MakeDefaultQueryTruth(const Query& q,
 /// contradict the override, so the windowed truth series stays empty.
 WindowTruthInputFn MakeWindowTruthInputs(const Query& q,
                                          SensorListFn sensors_at);
+
+/// Type-erased per-group evaluation of a grouped query's captured root
+/// state (the opaque GroupByAggregate payloads): the Experiment facade
+/// slices per-group estimates out of each epoch without knowing the
+/// wrapped aggregate's type.
+class GroupEval {
+ public:
+  virtual ~GroupEval() = default;
+  virtual size_t num_groups() const = 0;
+  /// Either side may be null (strategy-dependent; see RootStateSides).
+  virtual void Evaluate(const void* tree_partial, const void* synopsis,
+                        std::vector<double>* out) const = 0;
+};
+
+/// Builds the per-group evaluator for a RESOLVED query, or null for an
+/// ungrouped one. The evaluator is a fresh aggregate built by the same
+/// VisitQueryAggregate dispatch as the engine's own, so the payload types
+/// (and every evaluation) match bit-for-bit.
+std::unique_ptr<GroupEval> MakeGroupEval(const Query& q);
+
+/// Restricts a sensor list to one group of the query's resolved partition
+/// (`group` >= 0), or to all covered sensors (`group` == -1) -- the basis
+/// of per-group and partition-wide default ground truths.
+SensorListFn FilterSensorsByGroup(SensorListFn sensors_at,
+                                  std::shared_ptr<const RegionGrid> grid,
+                                  int group);
 
 }  // namespace api_internal
 }  // namespace td

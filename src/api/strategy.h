@@ -89,6 +89,17 @@ enum class AggregateKind {
   /// series reports the EWMA. Without an explicit Query::window it
   /// defaults to WindowSpec::Decayed(kDefaultEwmaAlpha).
   kEwma,
+  /// Error-bounded quantile over an integer value domain via the q-digest
+  /// summary (src/quant/): rank error <= digest_bits / digest_k,
+  /// deterministic. Parameterized by Query::quantile_p (strict (0, 1)),
+  /// Query::digest_bits and Query::digest_k.
+  kQuantileQd,
+  /// Modal-bucket midpoint of a power-of-two histogram derived from the
+  /// same q-digest (Query::histogram_buckets).
+  kHistogramQd,
+  /// Estimated number of readings inside [Query::range_lo,
+  /// Query::range_hi], derived from the same q-digest.
+  kRangeCountQd,
   kFrequentItems,
 };
 
@@ -110,6 +121,12 @@ inline const char* AggregateKindName(AggregateKind k) {
       return "Quantile";
     case AggregateKind::kEwma:
       return "Ewma";
+    case AggregateKind::kQuantileQd:
+      return "QuantileQd";
+    case AggregateKind::kHistogramQd:
+      return "HistogramQd";
+    case AggregateKind::kRangeCountQd:
+      return "RangeCountQd";
     case AggregateKind::kFrequentItems:
       return "FrequentItems";
   }

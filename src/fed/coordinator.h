@@ -18,6 +18,15 @@
 // synopses, Tributary-Delta gateways both; evaluation picks EvaluateTree /
 // EvaluateSynopsis / EvaluateCombined by which sides arrived, exactly as
 // the windows layer does.
+//
+// Q-digest queries (quant/qdigest_aggregate.h) ride through unchanged:
+// per-gateway digests merge losslessly (node-wise count addition), so the
+// coordinator's answer is order-invariant over gateways. Note the weaker
+// contract vs exact kinds: each gateway compresses at ITS OWN per-hop
+// points, so the merged digest need not be bit-identical to a single
+// engine run over the union -- only the rank-error bound is preserved
+// (counts are subadditive: sum of floor(n_i / k) <= floor(n / k) slack
+// per bit level).
 #ifndef TD_FED_COORDINATOR_H_
 #define TD_FED_COORDINATOR_H_
 

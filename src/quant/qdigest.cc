@@ -1,0 +1,221 @@
+#include "quant/qdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace td {
+namespace {
+
+size_t VarintLen(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
+QDigest::QDigest(int bits, int k) : bits_(bits), k_(k) {
+  TD_CHECK_MSG(bits >= 1 && bits <= 32,
+               "q-digest value-domain bits must lie in [1, 32]: the domain "
+               "is [0, 2^bits) over integer readings");
+  TD_CHECK_MSG(k >= 1,
+               "q-digest compression parameter k must be >= 1: the rank "
+               "error bound is bits / k");
+}
+
+int QDigest::Depth(uint64_t id) const {
+  int d = -1;
+  while (id != 0) {
+    id >>= 1;
+    ++d;
+  }
+  return d;
+}
+
+void QDigest::Range(uint64_t id, uint64_t* lo, uint64_t* hi) const {
+  const int shift = bits_ - Depth(id);
+  const uint64_t first_leaf = id << shift;
+  const uint64_t width = 1ull << shift;
+  *lo = first_leaf - (1ull << bits_);
+  *hi = *lo + width - 1;
+}
+
+void QDigest::Add(uint64_t value, uint64_t weight) {
+  TD_CHECK_MSG(value < (1ull << bits_),
+               "q-digest reading outside the configured value domain "
+               "[0, 2^bits): widen Query::digest_bits or rescale the "
+               "reading; clipping silently would corrupt the rank bound");
+  if (weight == 0) return;
+  const uint64_t id = (1ull << bits_) + value;
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), id,
+      [](const Node& n, uint64_t target) { return n.id < target; });
+  if (it != nodes_.end() && it->id == id) {
+    it->count += weight;
+  } else {
+    nodes_.insert(it, Node{id, weight});
+  }
+  total_ += weight;
+}
+
+void QDigest::Merge(const QDigest& other) {
+  TD_CHECK_MSG(bits_ == other.bits_ && k_ == other.k_,
+               "q-digest merge requires identical (bits, k): mixed-domain "
+               "digests do not share a tree");
+  if (other.nodes_.empty()) return;
+  std::vector<Node> merged;
+  merged.reserve(nodes_.size() + other.nodes_.size());
+  auto a = nodes_.begin();
+  auto b = other.nodes_.begin();
+  while (a != nodes_.end() && b != other.nodes_.end()) {
+    if (a->id < b->id) {
+      merged.push_back(*a++);
+    } else if (b->id < a->id) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(Node{a->id, a->count + b->count});
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, nodes_.end());
+  merged.insert(merged.end(), b, other.nodes_.end());
+  nodes_ = std::move(merged);
+  total_ += other.total_;
+}
+
+void QDigest::Compress() {
+  const uint64_t threshold = total_ / static_cast<uint64_t>(k_);
+  if (threshold == 0 || nodes_.empty()) return;  // still exact
+
+  // A map gives deterministic in-order traversal per level and O(log)
+  // sibling/parent lookups; digests are O(k) nodes, so this is cheap.
+  std::map<uint64_t, uint64_t> m;
+  for (const Node& n : nodes_) m.emplace(n.id, n.count);
+
+  // Folds move weight strictly upward, and removing a parent can make a
+  // deeper sibling pair foldable again, so iterate bottom-up passes to a
+  // fixpoint (at most bits_ passes).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int level = bits_; level >= 1; --level) {
+      const uint64_t level_lo = 1ull << level;
+      const uint64_t level_hi = 2ull << level;
+      auto it = m.lower_bound(level_lo);
+      while (it != m.end() && it->first < level_hi) {
+        // `it` is the first present node of a sibling pair (ascending
+        // order): at the even id, or at the odd id when even is absent.
+        const uint64_t even = it->first & ~1ull;
+        const uint64_t odd = even | 1ull;
+        const uint64_t parent = even >> 1;
+        const bool at_even = it->first == even;
+        auto odd_it = at_even ? m.find(odd) : it;
+        const bool has_odd = odd_it != m.end() && odd_it->first == odd;
+        const uint64_t c_even = at_even ? it->second : 0;
+        const uint64_t c_odd = has_odd ? odd_it->second : 0;
+        auto par = m.find(parent);
+        const uint64_t c_par = par != m.end() ? par->second : 0;
+        auto next = std::next(has_odd ? odd_it : it);
+        if (c_even + c_odd + c_par <= threshold) {
+          if (at_even) m.erase(it);
+          if (has_odd) m.erase(odd_it);
+          m[parent] = c_even + c_odd + c_par;
+          changed = true;
+        }
+        it = next;
+      }
+    }
+  }
+
+  nodes_.clear();
+  nodes_.reserve(m.size());
+  for (const auto& [id, count] : m) nodes_.push_back(Node{id, count});
+}
+
+double QDigest::Quantile(double p) const {
+  if (total_ == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(total_))));
+  if (rank > total_) rank = total_;
+
+  // Post-order over value space: increasing upper endpoint, narrower
+  // ranges first on ties. Every value summarized in a node is <= the
+  // node's hi, so the first prefix reaching `rank` bounds the quantile.
+  struct Ent {
+    uint64_t hi;
+    uint64_t width;
+    uint64_t count;
+  };
+  std::vector<Ent> ents;
+  ents.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    uint64_t lo, hi;
+    Range(n.id, &lo, &hi);
+    ents.push_back(Ent{hi, hi - lo + 1, n.count});
+  }
+  std::sort(ents.begin(), ents.end(), [](const Ent& a, const Ent& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.width < b.width;
+  });
+  uint64_t cum = 0;
+  for (const Ent& e : ents) {
+    cum += e.count;
+    if (cum >= rank) return static_cast<double>(e.hi);
+  }
+  return static_cast<double>(ents.back().hi);
+}
+
+double QDigest::RangeCount(uint64_t lo, uint64_t hi) const {
+  if (hi < lo) return 0.0;
+  double count = 0.0;
+  for (const Node& n : nodes_) {
+    uint64_t nlo, nhi;
+    Range(n.id, &nlo, &nhi);
+    if (nhi < lo || nlo > hi) continue;
+    const uint64_t olo = std::max(nlo, lo);
+    const uint64_t ohi = std::min(nhi, hi);
+    const double width = static_cast<double>(nhi - nlo + 1);
+    const double overlap = static_cast<double>(ohi - olo + 1);
+    count += static_cast<double>(n.count) * (overlap / width);
+  }
+  return count;
+}
+
+double QDigest::HistogramMode(int buckets) const {
+  TD_CHECK_MSG(buckets >= 1 && (buckets & (buckets - 1)) == 0 &&
+                   static_cast<uint64_t>(buckets) <= (1ull << bits_),
+               "q-digest histogram buckets must be a power of two within "
+               "the value domain so bucket edges align with digest ranges");
+  const uint64_t width = (1ull << bits_) / static_cast<uint64_t>(buckets);
+  int best = 0;
+  double best_count = -1.0;
+  for (int b = 0; b < buckets; ++b) {
+    const uint64_t lo = static_cast<uint64_t>(b) * width;
+    const double c = RangeCount(lo, lo + width - 1);
+    if (c > best_count) {
+      best_count = c;
+      best = b;
+    }
+  }
+  return static_cast<double>(best) * static_cast<double>(width) +
+         static_cast<double>(width) * 0.5;
+}
+
+size_t QDigest::EncodedBytes() const {
+  size_t bytes = sizeof(uint16_t);  // node count
+  uint64_t prev = 0;
+  for (const Node& n : nodes_) {
+    bytes += VarintLen(n.id - prev) + VarintLen(n.count);
+    prev = n.id;
+  }
+  return bytes;
+}
+
+}  // namespace td

@@ -1,0 +1,112 @@
+// Q-digest: a mergeable summary with a deterministic error bound for
+// quantile, range-count and histogram queries over an integer value domain
+// [0, 2^bits), after Shrivastava et al., "Medians and Beyond: New
+// Aggregation Techniques for Sensor Networks" (SenSys 2004; PAPERS.md).
+//
+// The digest is a weighted subset of the complete binary tree over the
+// value domain (heap numbering: root = 1, children of v are 2v and 2v+1,
+// the leaf for value x is (1 << bits) + x). Compression folds light
+// sibling pairs into their parent whenever the combined weight fits under
+// floor(n / k), which caps the stored node count at O(k) while any value's
+// rank is displaced by at most bits * floor(n / k) -- the classical
+// eps = bits / k rank guarantee.
+//
+// Determinism contract (what the engines and tests rely on):
+//  * Merge is plain node-wise count addition -- associative, commutative
+//    and bit-identical under any merge permutation, so it serves as both
+//    the exact tree MergeTree and the multi-path Fuse.
+//  * Compress is a canonical bottom-up fold over integer counts: the same
+//    (node multiset, n, k) always compresses to the same digest, so
+//    per-hop compression keeps Threads(1) == Threads(N) runs bit-equal.
+//  * Fuse is order-insensitive but NOT duplicate-insensitive (counts add):
+//    multi-path duplication inflates weights roughly uniformly, degrading
+//    the quantile gracefully; the eps bound is guaranteed on duplicate-free
+//    fold trees only (see DESIGN.md).
+#ifndef TD_QUANT_QDIGEST_H_
+#define TD_QUANT_QDIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace td {
+
+class QDigest {
+ public:
+  /// One stored tree node: heap id and its weight (number of summarized
+  /// values assigned to the node's value range).
+  struct Node {
+    uint64_t id = 0;
+    uint64_t count = 0;
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  /// `bits` fixes the value domain [0, 2^bits); `k` is the compression
+  /// parameter (rank error <= bits / k). Both are validated here so every
+  /// construction path fails fast on nonsense.
+  explicit QDigest(int bits = 16, int k = 32);
+
+  /// Adds `weight` occurrences of `value`. Aborts (TD_CHECK_MSG) when the
+  /// value lies outside the configured domain -- a silently clipped
+  /// reading would corrupt the rank guarantee.
+  void Add(uint64_t value, uint64_t weight = 1);
+
+  /// Lossless merge: node-wise count addition. The two digests must share
+  /// (bits, k). Never compresses -- callers compress explicitly per hop.
+  void Merge(const QDigest& other);
+
+  /// Canonical compression: repeatedly folds sibling pairs (plus their
+  /// parent) whose combined weight is <= floor(n / k), deepest level
+  /// first, until a fixpoint. A no-op while n < k (the digest is still
+  /// exact). Keeps the stored node count at most 3k (tested).
+  void Compress();
+
+  /// The p-quantile estimate: the upper endpoint of the first stored range
+  /// (in increasing-endpoint order) whose cumulative weight reaches rank
+  /// ceil(p * n). Deterministic; 0 on an empty digest. The true rank of
+  /// the returned value is within bits * floor(n / k) of the target on
+  /// duplicate-free digests.
+  double Quantile(double p) const;
+
+  /// Estimated number of summarized values in [lo, hi] (inclusive).
+  /// Stored ranges partially overlapping the query contribute
+  /// proportionally to the overlap fraction; exact while uncompressed.
+  double RangeCount(uint64_t lo, uint64_t hi) const;
+
+  /// Midpoint of the modal bucket when the domain is split into `buckets`
+  /// equal power-of-two-width cells (ties break toward the lowest
+  /// bucket) -- the digest's "approximate mode" answer.
+  double HistogramMode(int buckets) const;
+
+  /// Serialized wire size in bytes: a 2-byte node count plus one varint
+  /// delta-encoded id and one varint count per stored node. This is the
+  /// size of the digest AS STORED; transmission paths compress first (see
+  /// QDigestAggregate::TreeBytes).
+  size_t EncodedBytes() const;
+
+  int bits() const { return bits_; }
+  int k() const { return k_; }
+  /// Total summarized weight (number of Add'ed values, pre-duplication).
+  uint64_t total() const { return total_; }
+  size_t node_count() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool Empty() const { return nodes_.empty(); }
+
+  friend bool operator==(const QDigest&, const QDigest&) = default;
+
+ private:
+  /// Depth of heap id `id` (root = 0; leaves = bits_).
+  int Depth(uint64_t id) const;
+  /// Leaf-value range [lo, hi] covered by heap id `id`.
+  void Range(uint64_t id, uint64_t* lo, uint64_t* hi) const;
+
+  int bits_;
+  int k_;
+  uint64_t total_ = 0;
+  // Sorted by id ascending; unique ids; counts > 0.
+  std::vector<Node> nodes_;
+};
+
+}  // namespace td
+
+#endif  // TD_QUANT_QDIGEST_H_

@@ -1,0 +1,64 @@
+#include "quant/qdigest_aggregate.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace td {
+
+QDigestAggregate::QDigestAggregate(UintReadingFn reading, Answer answer,
+                                   const QDigestParams& params)
+    : reading_(std::move(reading)), answer_(answer), params_(params) {
+  TD_CHECK_MSG(reading_ != nullptr,
+               "q-digest queries need an integer Reading(): the digest "
+               "summarizes the integer value domain [0, 2^bits)");
+  // Domain/k validation lives in the QDigest constructor; run it once here
+  // so a malformed query dies at build time, not mid-epoch.
+  (void)QDigest(params_.bits, params_.k);
+  switch (answer_) {
+    case Answer::kQuantile:
+      TD_CHECK_MSG(params_.quantile_p > 0.0 && params_.quantile_p < 1.0,
+                   "Query::quantile_p must lie in (0, 1) for q-digest "
+                   "quantiles: the rank bound is vacuous at the endpoints");
+      break;
+    case Answer::kRangeCount:
+      TD_CHECK_MSG(params_.range_lo <= params_.range_hi &&
+                       params_.range_hi < (1ull << params_.bits),
+                   "q-digest range bounds must satisfy lo <= hi < 2^bits");
+      break;
+    case Answer::kHistogramMode:
+      TD_CHECK_MSG(
+          params_.histogram_buckets >= 1 &&
+              (params_.histogram_buckets &
+               (params_.histogram_buckets - 1)) == 0 &&
+              static_cast<uint64_t>(params_.histogram_buckets) <=
+                  (1ull << params_.bits),
+          "q-digest histogram buckets must be a power of two within the "
+          "value domain so bucket edges align with digest ranges");
+      break;
+  }
+}
+
+double QDigestAggregate::Eval(const QDigest& d) const {
+  switch (answer_) {
+    case Answer::kQuantile:
+      return d.Quantile(params_.quantile_p);
+    case Answer::kRangeCount:
+      return d.RangeCount(params_.range_lo, params_.range_hi);
+    case Answer::kHistogramMode:
+      return d.HistogramMode(params_.histogram_buckets);
+  }
+  return 0.0;
+}
+
+size_t QDigestAggregate::WireBytes(const QDigest& d) const {
+  // Transmission paths have already compressed (FinalizeTreePartial), in
+  // which case Compress on the copy is a fixpoint no-op; the lossless
+  // synopsis path pays a copy to report the size a real message would
+  // have.
+  QDigest wire = d;
+  wire.Compress();
+  return wire.EncodedBytes();
+}
+
+}  // namespace td

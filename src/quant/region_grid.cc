@@ -1,0 +1,111 @@
+#include "quant/region_grid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace td {
+
+RegionGrid::RegionGrid(const RegionSpec& spec, const Deployment& deployment,
+                       const Rings& rings,
+                       const std::vector<NodeId>& sensors) {
+  TD_CHECK_MSG(spec.active(),
+               "GroupBy needs an active RegionSpec: use RegionSpec::Grid, "
+               "RingBands or Cohorts");
+  group_of_.assign(deployment.size(), -1);
+
+  switch (spec.mode) {
+    case RegionSpec::Mode::kGrid: {
+      TD_CHECK_MSG(spec.nx >= 1 && spec.ny >= 1,
+                   "GroupBy grid dimensions must be >= 1 in both axes: a "
+                   "zero-cell grid is an empty partition");
+      // Cell edges span the sensors' bounding box; every sensor lands in
+      // exactly one cell (the top/right edges clamp inward).
+      double min_x = std::numeric_limits<double>::max();
+      double min_y = std::numeric_limits<double>::max();
+      double max_x = std::numeric_limits<double>::lowest();
+      double max_y = std::numeric_limits<double>::lowest();
+      for (NodeId v : sensors) {
+        const Point& p = deployment.position(v);
+        min_x = std::min(min_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_x = std::max(max_x, p.x);
+        max_y = std::max(max_y, p.y);
+      }
+      const double span_x = max_x > min_x ? max_x - min_x : 1.0;
+      const double span_y = max_y > min_y ? max_y - min_y : 1.0;
+      for (NodeId v : sensors) {
+        const Point& p = deployment.position(v);
+        int cx = static_cast<int>((p.x - min_x) / span_x * spec.nx);
+        int cy = static_cast<int>((p.y - min_y) / span_y * spec.ny);
+        cx = std::min(cx, spec.nx - 1);
+        cy = std::min(cy, spec.ny - 1);
+        group_of_[v] = cy * spec.nx + cx;
+      }
+      names_.reserve(static_cast<size_t>(spec.nx) * spec.ny);
+      for (int cy = 0; cy < spec.ny; ++cy) {
+        for (int cx = 0; cx < spec.nx; ++cx) {
+          names_.push_back("cell(" + std::to_string(cx) + "," +
+                           std::to_string(cy) + ")");
+        }
+      }
+      break;
+    }
+    case RegionSpec::Mode::kRings: {
+      TD_CHECK_MSG(spec.band >= 1,
+                   "GroupBy ring bands must group >= 1 ring: a zero-ring "
+                   "band is an empty partition");
+      int max_band = -1;
+      for (NodeId v : sensors) {
+        const int level = rings.level(v);
+        if (level < 1) continue;  // unreachable sensors join no band
+        const int band = (level - 1) / spec.band;
+        group_of_[v] = band;
+        max_band = std::max(max_band, band);
+      }
+      TD_CHECK_MSG(max_band >= 0,
+                   "GroupBy ring bands found no reachable sensor: the "
+                   "partition is empty");
+      for (int b = 0; b <= max_band; ++b) {
+        const int first = b * spec.band + 1;
+        const int last = first + spec.band - 1;
+        names_.push_back(spec.band == 1
+                             ? "ring" + std::to_string(first)
+                             : "rings" + std::to_string(first) + "-" +
+                                   std::to_string(last));
+      }
+      break;
+    }
+    case RegionSpec::Mode::kCohorts: {
+      TD_CHECK_MSG(!spec.cohorts.empty(),
+                   "GroupBy cohorts must list at least one cohort: an "
+                   "empty partition answers nothing");
+      for (size_t g = 0; g < spec.cohorts.size(); ++g) {
+        TD_CHECK_MSG(!spec.cohorts[g].empty(),
+                     "GroupBy cohorts must each be non-empty: an empty "
+                     "cohort would report a permanently empty aggregate");
+        for (NodeId v : spec.cohorts[g]) {
+          TD_CHECK_MSG(v < deployment.size(),
+                       "GroupBy cohort names a node outside the "
+                       "deployment");
+          TD_CHECK_MSG(group_of_[v] == -1,
+                       "GroupBy cohorts overlap: a node may belong to at "
+                       "most one group, or its reading would be counted "
+                       "twice");
+          group_of_[v] = static_cast<int>(g);
+        }
+        names_.push_back("cohort" + std::to_string(g));
+      }
+      break;
+    }
+    case RegionSpec::Mode::kNone:
+      break;
+  }
+
+  // The base station aggregates, it does not read: keep it out of every
+  // group regardless of mode.
+  group_of_[deployment.base()] = -1;
+}
+
+}  // namespace td

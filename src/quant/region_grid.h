@@ -1,0 +1,92 @@
+// Spatial partitioning for group-by queries: assigns every sensor to at
+// most one region (group), so a GroupByAggregate can carry one payload per
+// region through a single epoch of radio traffic (multiresolution region
+// cubes, after Meliou et al., PAPERS.md).
+//
+// Three partition modes:
+//  * Grid(nx, ny)      -- nx x ny cells over the deployment's sensor
+//                         bounding box ("per-quadrant p95" dashboards);
+//  * RingBands(width)  -- bands of `width` consecutive hop rings (ring 1
+//                         through `width` form band 0, and so on);
+//  * Cohorts({...})    -- explicit node lists; sensors in no cohort are
+//                         excluded from every group (GroupOf == -1), which
+//                         is the one mode where per-group answers need not
+//                         cover the whole field.
+//
+// RegionSpec is the declarative half a Query carries; RegionGrid is the
+// resolved assignment the Experiment builder constructs against the
+// scenario (deployment + rings), validating the partition fail-fast.
+#ifndef TD_QUANT_REGION_GRID_H_
+#define TD_QUANT_REGION_GRID_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/deployment.h"
+#include "topology/rings.h"
+
+namespace td {
+
+/// Declarative group-by request (Query::GroupBy). Mode kNone means the
+/// query is ungrouped -- the default.
+struct RegionSpec {
+  enum class Mode { kNone, kGrid, kRings, kCohorts };
+
+  Mode mode = Mode::kNone;
+  int nx = 0;      // kGrid: cells along x
+  int ny = 0;      // kGrid: cells along y
+  int band = 1;    // kRings: rings per band
+  std::vector<std::vector<NodeId>> cohorts;  // kCohorts
+
+  static RegionSpec Grid(int nx, int ny) {
+    RegionSpec s;
+    s.mode = Mode::kGrid;
+    s.nx = nx;
+    s.ny = ny;
+    return s;
+  }
+  static RegionSpec RingBands(int rings_per_band) {
+    RegionSpec s;
+    s.mode = Mode::kRings;
+    s.band = rings_per_band;
+    return s;
+  }
+  static RegionSpec Cohorts(std::vector<std::vector<NodeId>> groups) {
+    RegionSpec s;
+    s.mode = Mode::kCohorts;
+    s.cohorts = std::move(groups);
+    return s;
+  }
+
+  bool active() const { return mode != Mode::kNone; }
+};
+
+/// The resolved partition: a static sensor -> group assignment plus
+/// display names. Construction validates the spec against the scenario
+/// (TD_CHECK_MSG): grid dimensions and band widths must be positive,
+/// cohort lists non-empty and non-overlapping, and the partition must
+/// yield at least one group containing a sensor.
+class RegionGrid {
+ public:
+  RegionGrid(const RegionSpec& spec, const Deployment& deployment,
+             const Rings& rings, const std::vector<NodeId>& sensors);
+
+  /// Group index of a node, or -1 when the node is outside every group
+  /// (the base station always; sensors only under explicit cohorts).
+  int GroupOf(NodeId v) const {
+    return v < group_of_.size() ? group_of_[v] : -1;
+  }
+  size_t num_groups() const { return names_.size(); }
+  const std::string& GroupName(size_t g) const { return names_[g]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<int> group_of_;  // indexed by NodeId; -1 = excluded
+  std::vector<std::string> names_;
+};
+
+}  // namespace td
+
+#endif  // TD_QUANT_REGION_GRID_H_

@@ -49,9 +49,14 @@ class SampleSynopsis {
   uint64_t seed() const { return seed_; }
   const std::vector<Entry>& entries() const { return entries_; }
 
-  /// Serialized size: (id, value) per entry; priorities are recomputable.
+  /// Serialized size: an entry-count header (the list is variable-length,
+  /// so a decoder needs it) plus (id, value) per entry; priorities are
+  /// recomputable from the ids. Grows with distinct contributors until
+  /// the capacity is hit -- compare against QDigest::EncodedBytes, which
+  /// is bounded by 3k nodes regardless of population.
   size_t EncodedBytes() const {
-    return entries_.size() * (sizeof(uint64_t) + sizeof(double));
+    return sizeof(uint16_t) +
+           entries_.size() * (sizeof(uint64_t) + sizeof(double));
   }
 
  private:

@@ -95,7 +95,10 @@ double WindowTruth::Combine() const {
       }
       return static_cast<double>(pooled.size());
     }
-    case AggregateKind::kQuantile: {
+    case AggregateKind::kQuantile:
+    case AggregateKind::kQuantileQd: {
+      // kQuantileQd pools the integer readings its digest summarizes --
+      // the same pooled-multiset semantics as the sample-synopsis kind.
       std::vector<double> pooled;
       for (const WindowTruthInputs& in : history_) {
         pooled.insert(pooled.end(), in.values.begin(), in.values.end());
@@ -103,6 +106,12 @@ double WindowTruth::Combine() const {
       if (pooled.empty()) return 0.0;
       return Quantile(std::move(pooled), quantile_p_);
     }
+    case AggregateKind::kRangeCountQd:
+    case AggregateKind::kHistogramQd:
+      // Unreachable: MakeWindowTruthInputs returns null for these kinds
+      // (Combine does not carry their range/bucket parameters), so no
+      // WindowTruth is ever constructed over them.
+      break;
     case AggregateKind::kFrequentItems:
       break;
   }

@@ -55,6 +55,14 @@ routing at equal-or-lower radio bytes, and with retries enabled
 must clear --min-etx-delivery (default 0.8). Deterministic counters;
 exact; no baseline file.
 
+With --accuracy BENCH_accuracy.json the tool gates the quantile
+accuracy/bytes sweep: every q-digest cell's observed worst-case rank
+error must sit at or under its theoretical bits*floor(n/k)/n bound,
+every cell (digest and sample) must be deterministic across two fresh
+runs, and at least one digest cell must beat the sample synopsis on
+both axes -- strictly fewer bytes/epoch at equal-or-better observed
+error. Deterministic counters; exact; no baseline file.
+
 With --scaling BENCH_micro.json the tool gates the SoA scaling curve: at
 100k sensors the structure-of-arrays core must run epochs at least
 --min-soa-speedup (default 3.0) times faster than the object core, the
@@ -330,6 +338,76 @@ def check_linklayer(path, min_delivery):
     return failures
 
 
+def check_accuracy(path):
+    """Gate BENCH_accuracy.json: digest cells honor their theoretical
+    rank-error bound, everything is deterministic, and some digest cell
+    dominates the sample synopsis on bytes AND error. Returns failure
+    strings."""
+    doc = load_doc(path)
+    sample = None
+    digests = []
+    for row in doc.get("results", []):
+        synopsis = row.get("synopsis")
+        k = row.get("k")
+        bytes_pe = row.get("bytes_per_epoch")
+        observed = row.get("observed_rank_eps")
+        deterministic = row.get("deterministic")
+        # Every row belongs to the gate; a malformed row is a json
+        # regression, not something to skip silently.
+        if synopsis not in ("sample", "qdigest") or \
+                not isinstance(k, (int, float)) or \
+                not isinstance(bytes_pe, (int, float)) or \
+                not isinstance(observed, (int, float)) or \
+                not isinstance(deterministic, (int, float)):
+            print(f"check_bench: malformed accuracy row {row!r} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if synopsis == "sample":
+            sample = (float(bytes_pe), float(observed), bool(deterministic))
+        else:
+            theory = row.get("theory_eps")
+            if not isinstance(theory, (int, float)):
+                print(f"check_bench: qdigest row k={k} lacks theory_eps in "
+                      f"{path}", file=sys.stderr)
+                sys.exit(2)
+            digests.append((int(k), float(bytes_pe), float(observed),
+                            float(theory), bool(deterministic)))
+    if sample is None or not digests:
+        print(f"check_bench: need a sample row and qdigest rows in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    s_bytes, s_eps, s_det = sample
+    print(f"accuracy gate: {path}, qdigest observed eps <= theory in every "
+          f"cell, all cells deterministic, some cell beats sample "
+          f"({s_bytes:.0f} B/epoch at {s_eps:.4f} eps) on both axes")
+    if not s_det:
+        failures.append("sample synopsis cell is nondeterministic")
+    dominated = False
+    for k, bytes_pe, observed, theory, det in sorted(digests):
+        bound_ok = observed <= theory
+        wins = bytes_pe < s_bytes and observed <= s_eps
+        dominated = dominated or wins
+        verdict = "ok" if bound_ok and det else "REGRESSED"
+        print(f"  k={k:<5} {bytes_pe:>9.1f} B/epoch  observed {observed:.4f} "
+              f"vs theory {theory:.4f}  "
+              f"{'beats sample' if wins else '-':<13} {verdict}")
+        if not bound_ok:
+            failures.append(
+                f"k={k}: observed rank eps {observed:.4f} exceeds the "
+                f"theoretical bound {theory:.4f}")
+        if not det:
+            failures.append(f"k={k}: two fresh runs diverged -- the digest "
+                            f"pipeline is nondeterministic")
+    if not dominated:
+        failures.append(
+            f"no qdigest cell beats the sample synopsis ({s_bytes:.0f} "
+            f"B/epoch, {s_eps:.4f} eps) at fewer bytes and equal-or-better "
+            f"error")
+    return failures
+
+
 def check_scaling(path, min_speedup, max_1m_epoch_ms):
     """Gate the scaling_* rows of BENCH_micro.json: SoA speedup at 100k,
     a bounded 1M epoch, and exact determinism/equivalence flags. Returns
@@ -425,6 +503,9 @@ def main():
                         help="delivery-ratio floor for the best ETX arm "
                              "under the reference fault schedule "
                              "(default 0.8)")
+    parser.add_argument("--accuracy", metavar="JSON", default=None,
+                        help="gate a BENCH_accuracy.json quantile sweep "
+                             "(no baseline needed; deterministic counters)")
     parser.add_argument("--scaling", metavar="JSON", default=None,
                         help="gate the scaling_* rows of a BENCH_micro.json "
                              "written by bench_micro --scaling")
@@ -474,6 +555,15 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             sys.exit(1)
         print("link-layer gate: OK")
+    if args.accuracy:
+        ran_gate = True
+        failures = check_accuracy(args.accuracy)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("accuracy gate: OK")
     if args.scaling:
         ran_gate = True
         failures = check_scaling(args.scaling, args.min_soa_speedup,
@@ -489,7 +579,7 @@ def main():
     if args.current is None or args.baseline is None:
         parser.error("current and baseline are required unless "
                      "--query-amortization, --windows, --federation, "
-                     "--linklayer or --scaling is given")
+                     "--linklayer, --accuracy or --scaling is given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)

@@ -339,9 +339,6 @@ void AppendScalingJson(bench::BenchJson* json) {
   }
 }
 
-// ------------------------------------------------------------------------
-// BENCH_micro.json: chrono-timed headline numbers for the perf trajectory.
-
 double SecondsPerCall(const std::function<void()>& fn, int calls) {
   // One warmup call, then `calls` total invocations split across five
   // timed runs, reporting the median run: the regression gate
@@ -366,7 +363,103 @@ double SecondsPerCall(const std::function<void()>& fn, int calls) {
   return secs[kRuns / 2];
 }
 
-void WriteMicroJson(bool with_scaling) {
+// ------------------------------------------------------------------------
+// Flight-recorder cost (--telemetry): the observability acceptance gates.
+// The off arm re-times the exact td_epoch_us workload through
+// Experiment::StepEpoch with the default (null) sink, so check_bench can
+// hold it against the committed pre-telemetry td_epoch_us baseline (<= 2%
+// with bank_rle_bytes_ns machine calibration). The on arm prices the sink
+// itself, and two exact-equality flags pin the contracts that matter more
+// than the timing: telemetry off is deterministic, and switching it on
+// changes no simulation output bit.
+
+Experiment MakeTdEpochExperiment(bool with_telemetry) {
+  Experiment::Builder b;
+  b.Synthetic(7, 600)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(Strategy::kTributaryDelta)
+      .GlobalLossRate(0.2)
+      .NetworkSeed(1)
+      .Epochs(1);  // stepped manually by the timing loop
+  if (with_telemetry) b.Telemetry();
+  return std::move(b).Build();
+}
+
+RunResult RunTelemetryProbe(bool with_telemetry) {
+  Experiment::Builder b;
+  b.Synthetic(7, 150)
+      .Aggregate(AggregateKind::kCount)
+      .Strategy(Strategy::kTributaryDelta)
+      .GlobalLossRate(0.2)
+      .NetworkSeed(1)
+      .Warmup(5)
+      .Epochs(25);
+  if (with_telemetry) b.Telemetry();
+  return std::move(b).Run();
+}
+
+bool SameSimulation(const RunResult& a, const RunResult& b) {
+  return a.estimates() == b.estimates() && a.truths == b.truths &&
+         a.rms == b.rms && a.energy.transmissions == b.energy.transmissions &&
+         a.energy.packets == b.energy.packets &&
+         a.energy.bytes == b.energy.bytes &&
+         a.bytes_per_epoch == b.bytes_per_epoch &&
+         a.header_bytes_per_epoch == b.header_bytes_per_epoch &&
+         a.payload_bytes_per_epoch == b.payload_bytes_per_epoch &&
+         a.final_delta_size == b.final_delta_size &&
+         a.delivery_ratio == b.delivery_ratio &&
+         a.attempts_per_epoch == b.attempts_per_epoch &&
+         a.retry_histogram == b.retry_histogram;
+}
+
+void AppendTelemetryJson(bench::BenchJson* json) {
+  const int kCalls = 200;  // matches the td_epoch_us measurement
+  Experiment off = MakeTdEpochExperiment(false);
+  uint32_t eo = 0;
+  const double off_sec = SecondsPerCall([&] { off.StepEpoch(eo++); }, kCalls);
+  Experiment on = MakeTdEpochExperiment(true);
+  uint32_t ei = 0;
+  const double on_sec = SecondsPerCall([&] { on.StepEpoch(ei++); }, kCalls);
+  const double on_overhead_pct = (on_sec / off_sec - 1.0) * 100.0;
+
+  const RunResult off_a = RunTelemetryProbe(false);
+  const RunResult off_b = RunTelemetryProbe(false);
+  const RunResult on_r = RunTelemetryProbe(true);
+  const bool off_deterministic = SameSimulation(off_a, off_b);
+  const bool offon_match = SameSimulation(off_a, on_r);
+
+  json->Entry()
+      .Field("metric", "telemetry_off_td_epoch_us")
+      .Field("value", off_sec * 1e6);
+  json->Entry()
+      .Field("metric", "telemetry_on_td_epoch_us")
+      .Field("value", on_sec * 1e6);
+  json->Entry()
+      .Field("metric", "telemetry_on_overhead_pct")
+      .Field("value", on_overhead_pct);
+  json->Entry()
+      .Field("metric", "telemetry_off_deterministic")
+      .Field("value", off_deterministic ? 1.0 : 0.0);
+  json->Entry()
+      .Field("metric", "telemetry_offon_match")
+      .Field("value", offon_match ? 1.0 : 0.0);
+
+  // Stamp the measured on-vs-off cost into this json's header (the off-
+  // vs-baseline overhead needs the committed baseline, so check_bench
+  // computes that one).
+  bench::TelemetryOverheadPct() = on_overhead_pct;
+
+  std::printf(
+      "\ntelemetry: off %.1f us/epoch, on %.1f us/epoch (%+.2f%%), "
+      "off-deterministic=%d, off==on bit-identical=%d\n",
+      off_sec * 1e6, on_sec * 1e6, on_overhead_pct, off_deterministic ? 1 : 0,
+      offon_match ? 1 : 0);
+}
+
+// ------------------------------------------------------------------------
+// BENCH_micro.json: chrono-timed headline numbers for the perf trajectory.
+
+void WriteMicroJson(bool with_scaling, bool with_telemetry) {
   bench::BenchJson json("micro");
 
   {
@@ -402,6 +495,7 @@ void WriteMicroJson(bool with_scaling) {
   }
 
   if (with_scaling) AppendScalingJson(&json);
+  if (with_telemetry) AppendTelemetryJson(&json);
 
   json.Write();
 }
@@ -417,15 +511,19 @@ int main(int argc, char** argv) {
   // --scaling additionally runs the 10k/100k/1M SoA-vs-object curve and
   // emits its scaling_* rows into the same json (check_bench --scaling
   // gates them).
+  // --telemetry additionally measures the flight-recorder cost and
+  // bit-identity flags (check_bench --telemetry gates them).
   bool filtered = false;
   bool json_only = false;
   bool scaling = false;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.starts_with("--benchmark_filter")) filtered = true;
-    if (arg == "--json_only" || arg == "--scaling") {
+    if (arg == "--json_only" || arg == "--scaling" || arg == "--telemetry") {
       if (arg == "--json_only") json_only = true;
       if (arg == "--scaling") scaling = true;
+      if (arg == "--telemetry") telemetry = true;
       // Hide the flag from google-benchmark's argument check.
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
@@ -433,13 +531,13 @@ int main(int argc, char** argv) {
     }
   }
   if (json_only) {
-    td::WriteMicroJson(scaling);
+    td::WriteMicroJson(scaling, telemetry);
     return 0;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!filtered) td::WriteMicroJson(scaling);
+  if (!filtered) td::WriteMicroJson(scaling, telemetry);
   return 0;
 }

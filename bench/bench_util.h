@@ -36,6 +36,17 @@
 namespace td {
 namespace bench {
 
+/// Telemetry-off overhead of this build in percent, measured by
+/// `bench_micro --telemetry` (td_epoch_us with a null sink vs the same
+/// workload before the obs hooks existed, machine-calibrated by
+/// check_bench.py). -1 means "not measured in this process"; every
+/// BENCH_*.json header stamps the current value so downstream tooling can
+/// tell calibrated runs from plain ones.
+inline double& TelemetryOverheadPct() {
+  static double pct = -1.0;
+  return pct;
+}
+
 /// The four schemes the paper's figures compare, in figure column order.
 inline constexpr Strategy kPaperSchemes[] = {
     Strategy::kTag, Strategy::kSynopsisDiffusion, Strategy::kTdCoarse,
@@ -105,8 +116,10 @@ class BenchJson {
     if (f == nullptr) return;
     std::fprintf(f,
                  "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
-                 "  \"build_type\": \"%s\",\n  \"results\": [\n",
-                 name_.c_str(), TD_GIT_SHA, TD_BUILD_TYPE);
+                 "  \"build_type\": \"%s\",\n"
+                 "  \"telemetry_overhead_pct\": %.12g,\n  \"results\": [\n",
+                 name_.c_str(), TD_GIT_SHA, TD_BUILD_TYPE,
+                 TelemetryOverheadPct());
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "    {");
       for (size_t k = 0; k < records_[i].size(); ++k) {

@@ -20,6 +20,7 @@
 #include "agg/aggregate.h"
 #include "agg/epoch_outcome.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "sketch/fm_sketch.h"
 #include "topology/rings.h"
 #include "util/check.h"
@@ -45,6 +46,7 @@ class MultipathAggregator {
   using Outcome = EpochOutcome<typename A::Result>;
 
   Outcome RunEpoch(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId base = rings_->base();
     const Connectivity& conn = network_->connectivity();
 

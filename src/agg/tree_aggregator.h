@@ -14,6 +14,7 @@
 #include "agg/aggregate.h"
 #include "agg/epoch_outcome.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "topology/tree.h"
 #include "util/check.h"
 #include "util/node_set.h"
@@ -46,6 +47,7 @@ class TreeAggregator {
   /// Runs one aggregation epoch; deterministic given the network seed and
   /// call sequence.
   Outcome RunEpoch(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId root = tree_->root();
 
     PrepareScratch();

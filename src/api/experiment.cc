@@ -22,6 +22,21 @@ std::vector<double> RunResult::estimates() const {
   return out;
 }
 
+std::vector<std::pair<NodeId, EnergyStats>> RunResult::top_energy_nodes(
+    size_t k) const {
+  std::vector<std::pair<NodeId, EnergyStats>> out;
+  out.reserve(node_energy.size());
+  for (NodeId v = 0; v < node_energy.size(); ++v) {
+    out.emplace_back(v, node_energy[v]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.bytes != b.second.bytes) return a.second.bytes > b.second.bytes;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
 // ----------------------------------------------------------------- Builder
 
 Experiment::Builder& Experiment::Builder::Scenario(
@@ -152,6 +167,12 @@ Experiment::Builder& Experiment::Builder::LinkLayer(LinkLayerConfig config) {
   return *this;
 }
 
+Experiment::Builder& Experiment::Builder::Telemetry(
+    obs::TelemetryConfig config) {
+  telemetry_ = config;
+  return *this;
+}
+
 Experiment::Builder& Experiment::Builder::LossModel(
     std::shared_ptr<td::LossModel> model) {
   loss_ = std::move(model);
@@ -230,6 +251,10 @@ Experiment Experiment::Builder::Build() {
                "Core(kSoa) does not support kFrequentItems: the frequent-"
                "items engine has its own multi-path machinery with no SoA "
                "twin; use the default object core");
+  TD_CHECK_MSG(!(telemetry_ && shared_network_),
+               "Telemetry() is incompatible with a shared Network(): the "
+               "sink would tally the other users' traffic into this "
+               "experiment's series");
   if (shared_network_) {
     TD_CHECK_MSG(loss_ == nullptr && !loss_factory_,
                  "LossModel()/GlobalLossRate() is incompatible with a "
@@ -371,6 +396,19 @@ Experiment Experiment::Builder::Build() {
           *link_layer_->aging, exp.owned_scenario_.get());
       exp.network_->SetLinkObserver(exp.route_ager_.get());
     }
+  }
+
+  // Telemetry: the sink hangs off this experiment's own network (hot
+  // hooks) and binds node -> ring level for the per-ring series; repairs
+  // rebind in StepEpoch.
+  if (telemetry_) {
+    exp.telemetry_ = std::make_shared<obs::TelemetrySink>(*telemetry_);
+    std::vector<int32_t> levels(sc.rings.num_nodes());
+    for (size_t v = 0; v < levels.size(); ++v) {
+      levels[v] = sc.rings.level(static_cast<NodeId>(v));
+    }
+    exp.telemetry_->BindTopology(std::move(levels));
+    exp.network_->SetTelemetry(exp.telemetry_.get());
   }
 
   // The sensors every default ground truth ranges over.
@@ -634,6 +672,11 @@ SweepResult Experiment::Builder::RunTrials() {
     out.rms.Add(results[t].rms);
     out.bytes_per_epoch.Add(results[t].bytes_per_epoch);
     out.estimates.Merge(per_trial_estimates[t]);
+    // Per-trial sinks are the telemetry "shards": merged here, in trial
+    // order, so the merged series matches for any thread count.
+    if (results[t].telemetry.enabled) {
+      out.telemetry.Merge(results[t].telemetry);
+    }
   }
   out.trials = std::move(results);
   return out;
@@ -642,11 +685,57 @@ SweepResult Experiment::Builder::RunTrials() {
 // -------------------------------------------------------------- Experiment
 
 EpochResult Experiment::StepEpoch(uint32_t epoch) {
+  // Installed even when null (it restores on exit): TD_PROFILE_SCOPE and
+  // CountEvent in the layers below read this thread-local.
+  obs::ScopedSink obs_scope(telemetry_.get());
+  if (telemetry_) telemetry_->set_epoch(epoch);
   if (dynamics_) {
     EpochDynamics d = dynamics_->Advance(epoch, network_.get());
-    if (d.topology_changed) engine_->OnTopologyChanged();
+    if (d.topology_changed) {
+      engine_->OnTopologyChanged();
+      if (telemetry_) {
+        telemetry_->Count("dynamics.repairs");
+        telemetry_->Event(obs::EventKind::kTreeRepair, -1,
+                          static_cast<int64_t>(dynamics_->repairs()));
+        // Repairs can re-level the rings: rebind so per-ring series keep
+        // tracking the repaired topology.
+        std::vector<int32_t> levels(scenario_->rings.num_nodes());
+        for (size_t v = 0; v < levels.size(); ++v) {
+          levels[v] = scenario_->rings.level(static_cast<NodeId>(v));
+        }
+        telemetry_->BindTopology(std::move(levels));
+      }
+    }
   }
   EpochResult r = engine_->RunEpoch(epoch);
+  if (telemetry_) {
+    // Engine-adjacent observation: per-epoch deltas of the engines'
+    // cumulative counters, so the engines themselves stay telemetry-blind.
+    const EngineStats st = engine_->stats();
+    if (st.decisions > obs_prev_stats_.decisions) {
+      telemetry_->Count("td.decisions",
+                        st.decisions - obs_prev_stats_.decisions);
+    }
+    if (st.expansions > obs_prev_stats_.expansions) {
+      const uint64_t d = st.expansions - obs_prev_stats_.expansions;
+      telemetry_->Count("td.expansions", d);
+      telemetry_->Event(obs::EventKind::kModeSwitch, -1,
+                        static_cast<int64_t>(d));
+    }
+    if (st.shrinks > obs_prev_stats_.shrinks) {
+      const uint64_t d = st.shrinks - obs_prev_stats_.shrinks;
+      telemetry_->Count("td.shrinks", d);
+      telemetry_->Event(obs::EventKind::kModeSwitch, -1,
+                        -static_cast<int64_t>(d));
+    }
+    obs_prev_stats_ = st;
+    const uint64_t reproc = engine_->nodes_reprocessed();
+    if (reproc > obs_prev_reprocessed_) {
+      telemetry_->Count("soa.nodes_reprocessed",
+                        reproc - obs_prev_reprocessed_);
+      obs_prev_reprocessed_ = reproc;
+    }
+  }
   if (route_ager_ != nullptr) {
     const size_t rerouted = route_ager_->EndEpoch(epoch);
     if (rerouted > 0) {
@@ -654,6 +743,12 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
       // like the dynamics tier charges its churn repairs.
       network_->CountTransmission(scenario_->base(), 8 + 2 * rerouted);
       engine_->OnTopologyChanged();
+      if (telemetry_) {
+        telemetry_->Count("link.reroutes", rerouted);
+        telemetry_->Event(obs::EventKind::kReroute,
+                          static_cast<int32_t>(scenario_->base()),
+                          static_cast<int64_t>(rerouted));
+      }
     }
   }
   if (any_window_ || any_group_) {
@@ -707,6 +802,19 @@ EpochResult Experiment::StepEpoch(uint32_t epoch) {
       }
     }
   }
+  if (telemetry_ && telemetry_->config().node_energy_series) {
+    // One per-node radio-bytes row per epoch (delta of the cumulative
+    // node_energy tally), the time-to-first-death input.
+    const size_t n = network_->size();
+    if (obs_node_bytes_prev_.size() != n) obs_node_bytes_prev_.assign(n, 0);
+    std::vector<uint64_t> row(n);
+    for (size_t v = 0; v < n; ++v) {
+      const uint64_t b = network_->node_energy(static_cast<NodeId>(v)).bytes;
+      row[v] = b - obs_node_bytes_prev_[v];
+      obs_node_bytes_prev_[v] = b;
+    }
+    telemetry_->AppendNodeEnergy(std::move(row));
+  }
   return r;
 }
 
@@ -714,7 +822,15 @@ RunResult Experiment::Run() {
   TD_CHECK_GT(epochs_, 0u);
   // Warmup results are discarded one by one (no batch accumulation).
   for (uint32_t e = 0; e < warmup_; ++e) StepEpoch(e);
-  if (warmup_ > 0) network_->ResetEnergy();
+  if (warmup_ > 0) {
+    network_->ResetEnergy();
+    if (telemetry_) {
+      // Measured telemetry starts bitwise-aligned with the reset legacy
+      // counters (warmup traffic belongs to neither).
+      telemetry_->Reset();
+      std::fill(obs_node_bytes_prev_.begin(), obs_node_bytes_prev_.end(), 0);
+    }
+  }
   const uint64_t reprocessed_before = engine_->nodes_reprocessed();
 
   RunResult out;
@@ -845,6 +961,21 @@ RunResult Experiment::Run() {
       static_cast<double>(rs.attempts) / static_cast<double>(epochs_);
   out.retry_histogram = rs.by_attempts;
   if (route_ager_) out.route_reroutes = route_ager_->total_reroutes();
+  if (telemetry_) {
+    // Derived per-run gauges land next to the raw series, then the sink is
+    // drained into the result.
+    obs::MetricRegistry& reg = telemetry_->metrics();
+    reg.GetGauge("run.bytes_per_epoch")->Set(out.bytes_per_epoch);
+    reg.GetGauge("run.header_bytes_per_epoch")
+        ->Set(out.header_bytes_per_epoch);
+    reg.GetGauge("run.payload_bytes_per_epoch")
+        ->Set(out.payload_bytes_per_epoch);
+    out.telemetry = telemetry_->Summarize();
+    out.node_energy.reserve(network_->size());
+    for (size_t v = 0; v < network_->size(); ++v) {
+      out.node_energy.push_back(network_->node_energy(static_cast<NodeId>(v)));
+    }
+  }
   return out;
 }
 

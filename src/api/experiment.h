@@ -33,6 +33,7 @@
 #include "link/link_layer.h"
 #include "link/route_aging.h"
 #include "net/loss_model.h"
+#include "obs/telemetry.h"
 #include "util/stats.h"
 #include "window/query_window.h"
 #include "window/window_truth.h"
@@ -150,6 +151,23 @@ struct RunResult {
   /// the whole run (warmup included); 0 without LinkLayer aging.
   size_t route_reroutes = 0;
 
+  /// Telemetry (Builder::Telemetry only; `telemetry.enabled` says whether
+  /// it ran): the drained metrics registry, flight-recorder events and
+  /// phase profile of the run. Telemetry observes without consuming RNG
+  /// draws, so every other field is bit-identical to a telemetry-off run.
+  obs::TelemetrySummary telemetry;
+
+  /// Per-node energy totals over the measured epochs (Builder::Telemetry
+  /// only; empty otherwise -- at SoA scale a million-entry copy should be
+  /// opt-in). Indexed by NodeId; the base station is included.
+  std::vector<EnergyStats> node_energy;
+
+  /// The k highest-energy nodes by radio bytes (ties: lower id first),
+  /// from `node_energy`. The time-to-first-death input the ROADMAP's
+  /// energy-lifetime item needs. Empty when telemetry was off.
+  std::vector<std::pair<NodeId, EnergyStats>> top_energy_nodes(
+      size_t k) const;
+
   /// The per-epoch numeric estimates, extracted from `epochs`.
   std::vector<double> estimates() const;
 };
@@ -172,6 +190,12 @@ struct SweepResult {
   /// All measured per-epoch estimates pooled across trials (per-trial
   /// accumulators combined with the parallel-Welford RunningStat::Merge).
   RunningStat estimates;
+
+  /// Per-trial telemetry shards merged in trial order (counters add by
+  /// name, phases slot-wise; see TelemetrySummary::Merge), so the merged
+  /// series is bit-identical for any thread count. Per-trial events stay
+  /// on trials[t].telemetry.
+  obs::TelemetrySummary telemetry;
 };
 
 /// A fully wired simulation: owns (or references) the scenario, network,
@@ -199,6 +223,9 @@ class Experiment {
   /// The route ager, or nullptr without LinkLayer aging.
   RouteAger* route_ager() { return route_ager_.get(); }
 
+  /// The telemetry sink, or nullptr without Builder::Telemetry().
+  obs::TelemetrySink* telemetry() { return telemetry_.get(); }
+
   /// Runs one epoch through the facade: applies the epoch's dynamic events
   /// (when any), notifies the engine of topology repairs, then aggregates.
   /// Stepping call sites must visit epochs in increasing order.
@@ -219,6 +246,13 @@ class Experiment {
   std::shared_ptr<void> aggregate_;  // keep-alive for the engine's aggregate
   std::unique_ptr<td::Engine> engine_;
   std::shared_ptr<td::DynamicScenario> dynamics_;
+  std::shared_ptr<obs::TelemetrySink> telemetry_;
+  // Engine-adjacent observation state: last-seen cumulative counters so
+  // StepEpoch can emit per-epoch deltas (mode switches, reroutes, SoA
+  // cache misses) without the engines knowing about telemetry.
+  EngineStats obs_prev_stats_;
+  uint64_t obs_prev_reprocessed_ = 0;
+  std::vector<uint64_t> obs_node_bytes_prev_;
   uint32_t warmup_ = 0;
   uint32_t epochs_ = 0;
   std::function<double(uint32_t)> truth_;  // primary query's truth
@@ -339,6 +373,17 @@ class Experiment::Builder {
   /// additionally incompatible with Dynamics().
   Builder& LinkLayer(LinkLayerConfig config);
 
+  // ------------------------------------------------------------ telemetry
+  /// Attaches a telemetry sink (src/obs/): named metric series mirroring
+  /// the energy/retry counters (totals and per-ring), a bounded
+  /// flight-recorder event ring (retry outcomes, repairs, TD mode
+  /// switches, reroutes), a TD_PROFILE_SCOPE phase profile, and the
+  /// RunResult.node_energy / top_energy_nodes surface. Telemetry only
+  /// observes -- results stay bit-identical to a telemetry-off run -- and
+  /// off costs a null check per transmission. Incompatible with a shared
+  /// Network() (the sink would tally foreign traffic).
+  Builder& Telemetry(obs::TelemetryConfig config = {});
+
   // -------------------------------------------------------------- network
   Builder& LossModel(std::shared_ptr<td::LossModel> model);
   /// Loss model built against the resolved scenario (for RegionalLoss-style
@@ -404,6 +449,7 @@ class Experiment::Builder {
   EngineOptions options_;
   std::optional<DynamicsConfig> dynamics_;
   std::optional<LinkLayerConfig> link_layer_;
+  std::optional<obs::TelemetryConfig> telemetry_;
 
   std::shared_ptr<td::LossModel> loss_;
   std::function<std::shared_ptr<td::LossModel>(const td::Scenario&)>

@@ -33,6 +33,7 @@
 #include "core/soa_layout.h"
 #include "core/soa_traits.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "sketch/fm_sketch.h"
 #include "sketch/rle.h"
 #include "topology/rings.h"
@@ -59,6 +60,7 @@ class SoaMultipathAggregator {
   using Outcome = EpochOutcome<typename A::Result>;
 
   Outcome RunEpoch(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId base = rings_->base();
     PrepareScratch();
     EnsureCsr();

@@ -38,6 +38,7 @@
 #include "core/soa_layout.h"
 #include "core/soa_traits.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "sketch/fm_sketch.h"
 #include "sketch/rle.h"
 #include "td/adaptation.h"
@@ -95,6 +96,7 @@ class SoaTributaryDeltaAggregator {
   Outcome RunEpoch(uint32_t epoch) {
     Outcome out = RunAggregation(epoch);
     if (damper_.ShouldAdapt(epoch)) {
+      TD_PROFILE_SCOPE(obs::Phase::kAdapt);
       AdaptationConfig cfg = options_.adaptation;
       if (damper_.ShrinkSuppressed(epoch)) {
         cfg.shrink_margin = 2.0;
@@ -162,6 +164,7 @@ class SoaTributaryDeltaAggregator {
   };
 
   Outcome RunAggregation(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId base = rings_->base();
     TD_DCHECK(region_.CheckInvariants());
 

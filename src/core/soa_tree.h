@@ -28,6 +28,7 @@
 #include "core/soa_layout.h"
 #include "core/soa_traits.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "topology/tree.h"
 #include "util/check.h"
 #include "util/node_set.h"
@@ -56,6 +57,7 @@ class SoaTreeAggregator {
   using Outcome = EpochOutcome<typename A::Result>;
 
   Outcome RunEpoch(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId root = tree_->root();
     PrepareScratch();
     EnsureTopo();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace td {
@@ -102,6 +103,9 @@ void SubscriptionBroker::Unsubscribe(SubscriberId id) {
     }
   }
   groups_.erase(group_id);
+  obs::CountEvent("broker.groups_retired");
+  obs::Emit(obs::EventKind::kGroupRetired, -1,
+            static_cast<int64_t>(group_id));
 }
 
 void SubscriptionBroker::DeliverEpoch(uint32_t /*epoch*/,
@@ -187,6 +191,8 @@ uint64_t SubscriptionBroker::CreateGroup(const Subscription& canonical) {
   }
   const uint64_t id = next_group_id_++;
   groups_.emplace(id, std::move(group));
+  obs::CountEvent("broker.groups_created");
+  obs::Emit(obs::EventKind::kGroupCreated, -1, static_cast<int64_t>(id));
   return id;
 }
 

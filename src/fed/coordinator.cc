@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace td {
@@ -27,6 +28,7 @@ FedState Coordinator::MakeState() const {
 }
 
 void Coordinator::Merge(FedState* state, const FedRootState& root) {
+  TD_PROFILE_SCOPE(obs::Phase::kFedMerge);
   TD_CHECK(state != nullptr);
   TD_CHECK_EQ(state->partials.size(), queries_.size());
   TD_CHECK_MSG(root.partial != nullptr || root.synopsis != nullptr,

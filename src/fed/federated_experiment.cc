@@ -98,6 +98,12 @@ FederatedExperiment::Builder& FederatedExperiment::Builder::
   return *this;
 }
 
+FederatedExperiment::Builder& FederatedExperiment::Builder::Telemetry(
+    obs::TelemetryConfig config) {
+  telemetry_ = config;
+  return *this;
+}
+
 FederatedExperiment::Builder& FederatedExperiment::Builder::NetworkSeed(
     uint64_t seed) {
   network_seed_ = seed;
@@ -333,6 +339,16 @@ FederatedExperiment FederatedExperiment::Builder::Build() {
     for (size_t i = 0; i < count; ++i) exp.broker_->Subscribe(sub);
   }
 
+  // Flight recorder: ONE sink shared by every gateway radio so totals span
+  // the federation. No ring binding -- shard-local ids overlap across
+  // gateways, so per-ring attribution would lie; totals stay exact.
+  if (telemetry_) {
+    exp.telemetry_ = std::make_shared<obs::TelemetrySink>(*telemetry_);
+    for (Gateway& gw : exp.gateways_) {
+      gw.network->SetTelemetry(exp.telemetry_.get());
+    }
+  }
+
   exp.warmup_ = warmup_;
   exp.epochs_ = epochs_;
   return exp;
@@ -394,6 +410,9 @@ FederatedSweepResult FederatedExperiment::Builder::RunTrials() {
   for (uint32_t t = 0; t < trials; ++t) {
     out.rms.Add(results[t].global[proto.primary_].rms);
     out.bytes_per_epoch.Add(results[t].bytes_per_epoch);
+    if (results[t].telemetry.enabled) {
+      out.telemetry.Merge(results[t].telemetry);
+    }
   }
   out.trials = std::move(results);
   return out;
@@ -405,6 +424,11 @@ FedEpochResult FederatedExperiment::StepEpoch(uint32_t epoch) {
   const size_t num_gw = gateways_.size();
   const size_t nq = coordinator_->num_queries();
 
+  // The TLS sink makes the broker/window/coordinator hooks live for this
+  // epoch; a null sink keeps every hook on its no-op fast path.
+  obs::ScopedSink obs_scope(telemetry_.get());
+  if (telemetry_) telemetry_->set_epoch(epoch);
+
   FedEpochResult r;
   r.epoch = epoch;
   r.gateway_values.resize(num_gw);
@@ -415,7 +439,15 @@ FedEpochResult FederatedExperiment::StepEpoch(uint32_t epoch) {
     Gateway& gw = gateways_[g];
     if (gw.dynamics) {
       EpochDynamics d = gw.dynamics->Advance(epoch, gw.network.get());
-      if (d.topology_changed) gw.engine->OnTopologyChanged();
+      if (d.topology_changed) {
+        gw.engine->OnTopologyChanged();
+        if (telemetry_) {
+          telemetry_->Count("dynamics.repairs");
+          telemetry_->Event(obs::EventKind::kTreeRepair,
+                            static_cast<int32_t>(g),
+                            static_cast<int64_t>(gw.dynamics->repairs()));
+        }
+      }
     }
     EpochResult er = gw.engine->RunEpoch(epoch);
     r.gateway_values[g] = std::move(er.query_values);
@@ -435,6 +467,21 @@ FedEpochResult FederatedExperiment::StepEpoch(uint32_t epoch) {
 
   // Tier 4: fan the epoch out to the standing subscriptions.
   broker_->DeliverEpoch(epoch, roots);
+
+  // Coordinator-tier deltas for this epoch (global merge + broker chains).
+  if (telemetry_) {
+    const size_t merges = coordinator_->merges();
+    const size_t merged_bytes = coordinator_->merged_bytes();
+    telemetry_->Count("fed.merges", merges - obs_prev_merges_);
+    telemetry_->Count("fed.merged_bytes", merged_bytes - obs_prev_merged_bytes_);
+    telemetry_->Event(obs::EventKind::kCoordinatorMerge, -1,
+                      static_cast<int64_t>(merges - obs_prev_merges_),
+                      static_cast<int64_t>(merged_bytes - obs_prev_merged_bytes_));
+    obs_prev_merges_ = merges;
+    obs_prev_merged_bytes_ = merged_bytes;
+    telemetry_->Count("broker.merge_chains",
+                      broker_->last_epoch_merge_chains());
+  }
   return r;
 }
 
@@ -443,6 +490,9 @@ FederatedResult FederatedExperiment::Run() {
   for (uint32_t e = 0; e < warmup_; ++e) StepEpoch(e);
   if (warmup_ > 0) {
     for (Gateway& gw : gateways_) gw.network->ResetEnergy();
+    // Registry/trace reset mirrors the energy reset so telemetry totals
+    // cross-check bitwise against the measured-epoch legacy counters.
+    if (telemetry_) telemetry_->Reset();
   }
 
   std::vector<FedEpochResult> measured;
@@ -506,6 +556,12 @@ FederatedResult FederatedExperiment::Run() {
   for (Gateway& gw : gateways_) bytes += gw.network->total_energy().bytes;
   out.bytes_per_epoch =
       static_cast<double>(bytes) / static_cast<double>(epochs_);
+
+  if (telemetry_) {
+    telemetry_->metrics().GetGauge("run.bytes_per_epoch")
+        ->Set(out.bytes_per_epoch);
+    out.telemetry = telemetry_->Summarize();
+  }
   return out;
 }
 

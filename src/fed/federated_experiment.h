@@ -107,6 +107,12 @@ struct FederatedResult {
   /// Radio bytes per measured epoch, summed over every gateway's network
   /// (the coordinator and broker add zero radio bytes by construction).
   double bytes_per_epoch = 0.0;
+
+  /// Flight-recorder summary (Builder::Telemetry). One shared sink spans
+  /// all gateways, so metric totals cover the whole federation; per-ring
+  /// series are NOT populated (shard-local node ids overlap across
+  /// gateways, so a ring binding would misattribute).
+  obs::TelemetrySummary telemetry;
 };
 
 /// Outcome of a federated Monte Carlo sweep (Builder::RunTrials). Trials
@@ -120,6 +126,10 @@ struct FederatedSweepResult {
 
   /// Cross-trial distribution of per-trial radio bytes/epoch.
   RunningStat bytes_per_epoch;
+
+  /// Telemetry shards merged in trial order (deterministic for any thread
+  /// count); per-trial events live in trials[t].telemetry.events.
+  obs::TelemetrySummary telemetry;
 };
 
 /// A fully wired federation: per-gateway scenarios, networks and engines,
@@ -145,6 +155,7 @@ class FederatedExperiment {
   }
   Coordinator& coordinator() { return *coordinator_; }
   SubscriptionBroker& broker() { return *broker_; }
+  obs::TelemetrySink* telemetry() { return telemetry_.get(); }
 
   /// Runs one epoch across the whole federation: per-gateway dynamics and
   /// aggregation, coordinator merge, broker fan-out. Visit epochs in
@@ -173,6 +184,10 @@ class FederatedExperiment {
   std::vector<Gateway> gateways_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<SubscriptionBroker> broker_;
+  std::shared_ptr<obs::TelemetrySink> telemetry_;
+  // Previous cumulative coordinator tallies, so StepEpoch can emit deltas.
+  size_t obs_prev_merges_ = 0;
+  size_t obs_prev_merged_bytes_ = 0;
   uint32_t warmup_ = 0;
   uint32_t epochs_ = 0;
   std::vector<std::string> query_names_;
@@ -221,6 +236,11 @@ class FederatedExperiment::Builder {
   Builder& DedupSubscriptions(bool dedup);
 
   // ----------------------------------------------------------------- run
+  /// Switches the flight recorder on: one shared TelemetrySink observes
+  /// every gateway radio plus the coordinator/broker tiers. Default off =
+  /// zero-cost fast paths. Per-ring series stay empty in a federation
+  /// (shard-local node ids overlap); totals remain exact.
+  Builder& Telemetry(obs::TelemetryConfig config = {});
   Builder& NetworkSeed(uint64_t seed);
   Builder& Warmup(uint32_t epochs);
   Builder& Epochs(uint32_t epochs);
@@ -252,6 +272,7 @@ class FederatedExperiment::Builder {
 
   std::vector<std::pair<Subscription, size_t>> subscriptions_;
   bool dedup_ = true;
+  std::optional<obs::TelemetryConfig> telemetry_;
 
   uint64_t network_seed_ = 1;
   uint32_t warmup_ = 0;

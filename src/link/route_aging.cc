@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
 #include "topology/tree_builder.h"
 #include "util/check.h"
 
@@ -68,6 +69,7 @@ void RouteAger::OnUnicast(NodeId src, NodeId dst, uint32_t epoch,
   fail_keys_.erase(fail_keys_.begin() + static_cast<ptrdiff_t>(fidx));
   fail_counts_.erase(fail_counts_.begin() + static_cast<ptrdiff_t>(fidx));
   const uint32_t expiry = epoch + config_.blacklist_epochs;
+  obs::CountEvent("link.blacklisted");
   const size_t bidx = FindKey(bl_keys_, key);
   if (bidx != static_cast<size_t>(-1)) {
     bl_expiry_[bidx] = std::max(bl_expiry_[bidx], expiry);

@@ -24,6 +24,10 @@
 
 namespace td {
 
+namespace obs {
+class TelemetrySink;
+}  // namespace obs
+
 /// TinyDB message payload size used throughout the paper's evaluation.
 inline constexpr size_t kPacketBytes = 48;
 
@@ -126,6 +130,11 @@ class Network {
   /// The observer must outlive the network or be cleared first.
   void SetLinkObserver(LinkObserver* observer) { observer_ = observer; }
 
+  /// Attaches a telemetry sink mirroring the energy/retry counters into
+  /// named series (nullptr detaches). Off costs one null check per
+  /// transmission; the sink must outlive the network or be cleared first.
+  void SetTelemetry(obs::TelemetrySink* telemetry) { telemetry_ = telemetry; }
+
   /// Powers a node down (dead or duty-cycle asleep) or back up. An inactive
   /// node transmits nothing -- its sends fail and charge no energy -- and
   /// hears nothing. All nodes start active; static scenarios never call
@@ -158,7 +167,8 @@ class Network {
   std::vector<uint8_t> active_;
   std::optional<RetryPolicy> retry_policy_;
   RetryStats retry_stats_;
-  LinkObserver* observer_ = nullptr;  // not owned
+  LinkObserver* observer_ = nullptr;        // not owned
+  obs::TelemetrySink* telemetry_ = nullptr;  // not owned
 };
 
 }  // namespace td

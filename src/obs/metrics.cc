@@ -1,0 +1,87 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace td::obs {
+
+int Histogram::BucketOf(uint64_t x) { return std::bit_width(x); }
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::Merge(const Histogram& o) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += o.counts_[b];
+  total_ += o.total_;
+  sum_ += o.sum_;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return &it->second;
+}
+
+void MetricRegistry::Merge(const MetricRegistry& o) {
+  for (const auto& [name, c] : o.counters_) GetCounter(name)->Merge(c);
+  for (const auto& [name, g] : o.gauges_) GetGauge(name)->Merge(g);
+  for (const auto& [name, h] : o.histograms_) GetHistogram(name)->Merge(h);
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+std::vector<MetricRow> MetricRegistry::Rows() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    rows.push_back({name, static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.push_back({name, g.value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    rows.push_back({name + ".count", static_cast<double>(h.total())});
+    rows.push_back({name + ".sum", static_cast<double>(h.sum())});
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) continue;
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), ".bucket%d", b);
+      rows.push_back({name + suffix, static_cast<double>(h.bucket(b))});
+    }
+  }
+  // Per-kind maps are each sorted; a final sort interleaves them into one
+  // deterministic name order.
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+}  // namespace td::obs

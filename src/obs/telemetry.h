@@ -1,0 +1,259 @@
+// Telemetry sink: one owner for the metrics registry, the epoch tracer,
+// and the phase profiler, wired behind Experiment::Builder::Telemetry().
+//
+// Overhead contract (pinned by obs_test + check_bench.py --telemetry):
+//  - OFF (no sink installed): hot paths see one raw-pointer null check
+//    (Network) or one thread-local load (TD_PROFILE_SCOPE); results are
+//    bit-identical to a build without telemetry and epoch throughput
+//    regresses <= 2%.
+//  - ON: telemetry only *observes* -- it never consumes RNG draws or
+//    reorders work -- so results stay bit-identical to telemetry-off.
+//
+// Threading: a sink is single-threaded. Parallel Monte Carlo trials each
+// own a private sink (the per-thread "shard"); RunTrials merges the
+// resulting TelemetrySummary shards in trial order, which keeps
+// Threads(1) == Threads(N) bit-identity for every counter and event.
+#ifndef TD_OBS_TELEMETRY_H_
+#define TD_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace td::obs {
+
+struct TelemetryConfig {
+  bool metrics = true;   // named counter/gauge/histogram series
+  bool trace = true;     // flight-recorder event ring
+  bool profile = true;   // TD_PROFILE_SCOPE wall-time breakdown
+  /// Flight-recorder ring size; when full the oldest events are
+  /// overwritten (and counted as dropped).
+  size_t trace_capacity = 4096;
+  /// Also record a per-epoch x per-node radio-bytes matrix (heavier;
+  /// feeds time-to-first-death style lifetime analysis).
+  bool node_energy_series = false;
+};
+
+struct PhaseRow {
+  std::string name;
+  uint64_t ns = 0;
+  uint64_t calls = 0;
+};
+
+/// The drained, trial-mergeable view of one sink, carried on
+/// RunResult/SweepResult (and the federated equivalents).
+struct TelemetrySummary {
+  bool enabled = false;
+  /// Name-sorted flattened registry snapshot.
+  std::vector<MetricRow> metrics;
+  /// Fixed Phase-enum order. Wall time: not part of bit-identity.
+  std::vector<PhaseRow> phases;
+  /// Drained flight recorder (oldest to newest). Per-run only: trial
+  /// merges keep the recorded/dropped totals but not the event bodies.
+  std::vector<TraceEvent> events;
+  uint64_t trace_recorded = 0;
+  uint64_t trace_dropped = 0;
+  /// node_energy_series[epoch][node] = radio bytes charged that epoch
+  /// (empty unless TelemetryConfig::node_energy_series).
+  std::vector<std::vector<uint64_t>> node_energy_series;
+
+  /// Value of a metric row by exact name; 0 when absent.
+  double metric(std::string_view name) const;
+
+  /// Trial-order shard merge: counters/histogram rows add by name, phases
+  /// add slot-wise, trace totals add, node-energy matrices add
+  /// element-wise. Events are not concatenated (epoch numbering restarts
+  /// per trial); read per-trial events from SweepResult::trials.
+  void Merge(const TelemetrySummary& o);
+};
+
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(const TelemetryConfig& config);
+
+  const TelemetryConfig& config() const { return config_; }
+  MetricRegistry& metrics() { return metrics_; }
+  EpochTracer& tracer() { return tracer_; }
+  Profiler& profiler() { return profiler_; }
+  bool profile_enabled() const { return config_.profile; }
+
+  /// Binds node -> ring level (from Rings; -1 = unreachable) so hot hooks
+  /// can bucket per-ring series without a lookup table miss. Rebound on
+  /// topology repair. Unbound sinks fold everything into totals only.
+  void BindTopology(std::vector<int32_t> node_ring);
+
+  /// Current epoch, stamped on events emitted by layers that do not carry
+  /// an epoch argument (broker churn, coordinator merges).
+  void set_epoch(uint32_t epoch) { epoch_ = epoch; }
+  uint32_t epoch() const { return epoch_; }
+
+  /// Hot hook: one physical transmission charged to `src` (mirrors
+  /// Network::CountTransmission bitwise: same bytes, same packet
+  /// rounding).
+  void OnTransmission(uint32_t src, uint64_t bytes, uint64_t packets) {
+    if (!config_.metrics) return;
+    tx_count_->Add();
+    tx_packets_->Add(packets);
+    tx_bytes_->Add(bytes);
+    msg_bytes_hist_->Observe(bytes);
+    const int32_t r = RingOf(src);
+    if (r >= 0) {
+      rings_[static_cast<size_t>(r)].transmissions->Add();
+      rings_[static_cast<size_t>(r)].bytes->Add(bytes);
+    }
+  }
+
+  /// Hot hook: final outcome of one logical unicast (mirrors RetryStats).
+  /// Contested unicasts (retries or failure) also land in the trace ring.
+  void OnUnicast(uint32_t src, uint32_t dst, uint32_t epoch, int attempts,
+                 bool delivered) {
+    (void)dst;
+    const int32_t r = RingOf(src);
+    if (config_.metrics) {
+      uni_count_->Add();
+      uni_attempts_->Add(static_cast<uint64_t>(attempts));
+      if (delivered) uni_delivered_->Add();
+      attempts_hist_->Observe(static_cast<uint64_t>(attempts));
+      if (r >= 0) {
+        RingChannel& ch = rings_[static_cast<size_t>(r)];
+        ch.retries->Add(static_cast<uint64_t>(attempts - 1));
+        if (!delivered) ch.failures->Add();
+      }
+    }
+    if (config_.trace && (attempts > 1 || !delivered)) {
+      tracer_.Record({epoch, EventKind::kRetry, static_cast<int32_t>(src), r,
+                      attempts, delivered ? 1 : 0});
+    }
+  }
+
+  /// Low-frequency counter bump by name (registry lookup per call; do not
+  /// use on per-message paths).
+  void Count(std::string_view name, uint64_t n = 1) {
+    if (config_.metrics) metrics_.GetCounter(name)->Add(n);
+  }
+
+  /// Records a structured event, stamping the current epoch and (when the
+  /// event is node-scoped and unset) the node's ring.
+  void Event(EventKind kind, int32_t node = -1, int64_t a = 0, int64_t b = 0);
+
+  /// Appends one epoch's per-node radio-bytes row (node_energy_series).
+  void AppendNodeEnergy(std::vector<uint64_t> epoch_bytes) {
+    node_energy_series_.push_back(std::move(epoch_bytes));
+  }
+
+  /// Zeroes every series/ring/phase (warmup boundary: keeps measured
+  /// totals bitwise comparable to the post-ResetEnergy legacy counters).
+  void Reset();
+
+  /// Snapshot + drain into a result-carried summary.
+  TelemetrySummary Summarize();
+
+ private:
+  int32_t RingOf(uint32_t node) const {
+    return node < node_ring_.size() ? node_ring_[node] : -1;
+  }
+
+  struct RingChannel {
+    Counter* bytes = nullptr;
+    Counter* transmissions = nullptr;
+    Counter* retries = nullptr;   // physical attempts beyond the first
+    Counter* failures = nullptr;  // unicasts that never got through
+  };
+
+  TelemetryConfig config_;
+  MetricRegistry metrics_;
+  EpochTracer tracer_;
+  Profiler profiler_;
+  uint32_t epoch_ = 0;
+  std::vector<int32_t> node_ring_;
+  std::vector<RingChannel> rings_;
+  std::vector<std::vector<uint64_t>> node_energy_series_;
+
+  // Pre-resolved totals (stable registry pointers; no lookup on hot paths).
+  Counter* tx_count_;
+  Counter* tx_packets_;
+  Counter* tx_bytes_;
+  Counter* uni_count_;
+  Counter* uni_delivered_;
+  Counter* uni_attempts_;
+  Histogram* attempts_hist_;
+  Histogram* msg_bytes_hist_;
+};
+
+namespace internal {
+/// The sink observing the current thread's epoch loop; set by
+/// Experiment/FederatedExperiment around StepEpoch via ScopedSink.
+inline thread_local TelemetrySink* current_sink = nullptr;
+}  // namespace internal
+
+inline TelemetrySink* Current() { return internal::current_sink; }
+
+/// RAII installer for the thread-local current sink (nestable; restores
+/// the previous sink on destruction). A null sink is a no-op install.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TelemetrySink* sink) : prev_(internal::current_sink) {
+    internal::current_sink = sink;
+  }
+  ~ScopedSink() { internal::current_sink = prev_; }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TelemetrySink* prev_;
+};
+
+/// Counter bump against the current sink; a single TLS load + null check
+/// when telemetry is off. For low-frequency paths (per-epoch, per-churn).
+inline void CountEvent(std::string_view name, uint64_t n = 1) {
+  if (TelemetrySink* s = Current()) s->Count(name, n);
+}
+
+/// Structured event against the current sink (epoch stamped by the sink).
+inline void Emit(EventKind kind, int32_t node = -1, int64_t a = 0,
+                 int64_t b = 0) {
+  if (TelemetrySink* s = Current()) s->Event(kind, node, a, b);
+}
+
+/// Times a lexical scope into the current sink's phase profiler. When no
+/// sink is installed (or profiling is off) the cost is one thread-local
+/// load and a branch; the clock is only read with profiling on.
+class ProfileScope {
+ public:
+  explicit ProfileScope(Phase phase) : phase_(phase), sink_(Current()) {
+    if (sink_ != nullptr && sink_->profile_enabled()) {
+      start_ = std::chrono::steady_clock::now();
+    } else {
+      sink_ = nullptr;
+    }
+  }
+  ~ProfileScope() {
+    if (sink_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    sink_->profiler().Add(phase_, static_cast<uint64_t>(ns));
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Phase phase_;
+  TelemetrySink* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define TD_PROFILE_CONCAT_INNER(a, b) a##b
+#define TD_PROFILE_CONCAT(a, b) TD_PROFILE_CONCAT_INNER(a, b)
+#define TD_PROFILE_SCOPE(phase) \
+  ::td::obs::ProfileScope TD_PROFILE_CONCAT(td_profile_scope_, __LINE__)(phase)
+
+}  // namespace td::obs
+
+#endif  // TD_OBS_TELEMETRY_H_

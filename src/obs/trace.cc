@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace td::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kTreeRepair:
+      return "tree_repair";
+    case EventKind::kModeSwitch:
+      return "mode_switch";
+    case EventKind::kReroute:
+      return "reroute";
+    case EventKind::kCoordinatorMerge:
+      return "coordinator_merge";
+    case EventKind::kGroupCreated:
+      return "group_created";
+    case EventKind::kGroupRetired:
+      return "group_retired";
+  }
+  return "unknown";
+}
+
+EpochTracer::EpochTracer(size_t capacity) : ring_(capacity) {
+  TD_CHECK_GT(capacity, 0u);
+}
+
+void EpochTracer::Record(const TraceEvent& e) {
+  if (size_ == ring_.size()) ++dropped_;  // overwriting the oldest
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> EpochTracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event sits at the write cursor once the ring has wrapped.
+  const size_t start = (next_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> EpochTracer::Drain() {
+  std::vector<TraceEvent> out = Snapshot();
+  next_ = 0;
+  size_ = 0;
+  return out;
+}
+
+void EpochTracer::Reset() {
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::string ToJsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 80);
+  char line[192];
+  for (const TraceEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "{\"epoch\":%u,\"kind\":\"%s\",\"node\":%d,\"ring\":%d,"
+                  "\"a\":%lld,\"b\":%lld}\n",
+                  e.epoch, EventKindName(e.kind), e.node, e.ring,
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace td::obs

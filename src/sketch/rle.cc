@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace td {
@@ -257,6 +258,7 @@ void SetBitRange(std::vector<uint64_t>* words, size_t begin, size_t end) {
 }  // namespace
 
 std::vector<uint8_t> EncodeBankRle(const std::vector<uint32_t>& bitmaps) {
+  TD_PROFILE_SCOPE(obs::Phase::kRleEncode);
   BitWriter w;
   if (bitmaps.empty()) return w.bytes();
   std::vector<uint64_t>& words = TransposeScratch();

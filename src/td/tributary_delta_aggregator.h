@@ -38,6 +38,7 @@
 #include "agg/aggregate.h"
 #include "agg/epoch_outcome.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "sketch/fm_sketch.h"
 #include "td/adaptation.h"
 #include "td/region_state.h"
@@ -100,6 +101,7 @@ class TributaryDeltaAggregator {
   Outcome RunEpoch(uint32_t epoch) {
     Outcome out = RunAggregation(epoch);
     if (damper_.ShouldAdapt(epoch)) {
+      TD_PROFILE_SCOPE(obs::Phase::kAdapt);
       AdaptationConfig cfg = options_.adaptation;
       if (damper_.ShrinkSuppressed(epoch)) {
         cfg.shrink_margin = 2.0;  // contributing fraction can never exceed it
@@ -220,6 +222,7 @@ class TributaryDeltaAggregator {
   }
 
   Outcome RunAggregation(uint32_t epoch) {
+    TD_PROFILE_SCOPE(obs::Phase::kSweep);
     const NodeId base = rings_->base();
     TD_DCHECK(region_.CheckInvariants());
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace td {
@@ -61,13 +62,23 @@ double QueryWindow::Observe(const void* partial, const void* synopsis) {
       ops_->AssignSynopsis(st.synopsis.get(), synopsis);
     }
   };
+  TD_PROFILE_SCOPE(obs::Phase::kWindowCombine);
+  const size_t merges_before = merges();
+  double value;
   if (sliding_) {
     sliding_->PushWith(fill);
-    return sliding_->Evaluate();
+    value = sliding_->Evaluate();
+  } else {
+    TD_CHECK(hopping_.has_value());
+    hopping_->PushWith(fill);
+    value = hopping_->Evaluate();
   }
-  TD_CHECK(hopping_.has_value());
-  hopping_->PushWith(fill);
-  return hopping_->Evaluate();
+  // State-maintenance merges this push performed (two-stacks flips show up
+  // as bursts; the amortized bound stays <= 2 per push).
+  if (const size_t d = merges() - merges_before; d > 0) {
+    obs::CountEvent("window.state_merges", d);
+  }
+  return value;
 }
 
 size_t QueryWindow::merges() const {

@@ -73,6 +73,17 @@ and byte tallies), and every match flag must be 1 (SoA and object cores
 agreed exactly wherever both ran). Timings gate with generous margins;
 the flags are exact.
 
+With --telemetry BENCH_micro.json the tool gates the flight-recorder cost
+rows written by bench_micro --telemetry: both bit-identity flags must be
+exactly 1 (telemetry off is deterministic across two fresh runs, and a
+telemetry-on run reproduced the off run's every estimate/byte/retry
+counter bit-for-bit), and with --telemetry-baseline BASELINE the
+telemetry-off epoch time is held against the committed pre-telemetry
+td_epoch_us within --max-telemetry-off-overhead percent (default 2.0),
+machine-calibrated by the bank_rle_bytes_ns ratio like the main gate.
+Without a baseline the overhead comparison is skipped and only the exact
+flags gate.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
@@ -460,6 +471,66 @@ def check_scaling(path, min_speedup, max_1m_epoch_ms):
     return failures
 
 
+def check_telemetry(path, baseline_path, max_overhead_pct,
+                    max_machine_factor):
+    """Gate the telemetry_* rows of BENCH_micro.json: exact off-determinism
+    and off==on bit-identity flags, plus (with a baseline) the telemetry-off
+    epoch time within max_overhead_pct of the pre-telemetry td_epoch_us.
+    Returns failure strings."""
+    metrics, _ = load_metrics(path)
+    failures = []
+    required = [
+        "telemetry_off_td_epoch_us", "telemetry_on_td_epoch_us",
+        "telemetry_off_deterministic", "telemetry_offon_match",
+    ]
+    missing = [m for m in required if m not in metrics]
+    if missing:
+        return [f"telemetry rows missing from {path}: {', '.join(missing)} "
+                f"(was bench_micro run with --telemetry?)"]
+
+    off_us = metrics["telemetry_off_td_epoch_us"]
+    on_us = metrics["telemetry_on_td_epoch_us"]
+    print(f"telemetry gate: {path}, off {off_us:.1f} us/epoch, "
+          f"on {on_us:.1f} us/epoch "
+          f"({(on_us / off_us - 1.0) * 100.0:+.2f}%), exact flags")
+    if metrics["telemetry_off_deterministic"] != 1:
+        failures.append("two fresh telemetry-off runs diverged -- the "
+                        "simulation is nondeterministic")
+    if metrics["telemetry_offon_match"] != 1:
+        failures.append("a telemetry-on run changed the simulation output "
+                        "-- the observe-only contract broke")
+
+    if baseline_path is None:
+        print("  (no --telemetry-baseline; off-overhead comparison skipped)")
+        return failures
+    baseline, _ = load_metrics(baseline_path)
+    cal = "bank_rle_bytes_ns"
+    if ("td_epoch_us" not in baseline or cal not in baseline
+            or cal not in metrics or baseline[cal] <= 0):
+        failures.append(f"baseline {baseline_path} lacks td_epoch_us or "
+                        f"{cal}; cannot price the off-overhead")
+        return failures
+    scale = metrics[cal] / baseline[cal]
+    print(f"  calibration: {cal} machine factor {scale:.2f}x")
+    if not 1.0 / max_machine_factor <= scale <= max_machine_factor:
+        failures.append(
+            f"calibration factor {scale:.2f}x outside sanity bound "
+            f"{max_machine_factor}x -- baseline and runner are not "
+            f"comparable (or {cal} itself regressed badly)")
+        return failures
+    expected_us = baseline["td_epoch_us"] * scale
+    overhead_pct = (off_us / expected_us - 1.0) * 100.0
+    print(f"  off vs pre-telemetry baseline: {off_us:.1f} us vs "
+          f"{expected_us:.1f} us expected ({overhead_pct:+.2f}%, "
+          f"gate +{max_overhead_pct:g}%)")
+    if overhead_pct > max_overhead_pct:
+        failures.append(
+            f"telemetry-off epoch is {overhead_pct:.2f}% over the "
+            f"pre-telemetry baseline (gate {max_overhead_pct:g}%) -- the "
+            f"dormant hooks are not free")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
@@ -515,6 +586,17 @@ def main():
     parser.add_argument("--max-1m-epoch-ms", type=float, default=60000.0,
                         help="budget for one 1M-sensor soa epoch in ms "
                              "(default 60000)")
+    parser.add_argument("--telemetry", metavar="JSON", default=None,
+                        help="gate the telemetry_* rows of a "
+                             "BENCH_micro.json written by bench_micro "
+                             "--telemetry")
+    parser.add_argument("--telemetry-baseline", metavar="JSON", default=None,
+                        help="pre-telemetry baseline json holding "
+                             "td_epoch_us; enables the off-overhead check")
+    parser.add_argument("--max-telemetry-off-overhead", type=float,
+                        default=2.0,
+                        help="max telemetry-off slowdown vs the baseline "
+                             "td_epoch_us, in percent (default 2.0)")
     args = parser.parse_args()
 
     ran_gate = False
@@ -574,12 +656,24 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             sys.exit(1)
         print("scaling gate: OK")
+    if args.telemetry:
+        ran_gate = True
+        failures = check_telemetry(args.telemetry, args.telemetry_baseline,
+                                   args.max_telemetry_off_overhead,
+                                   args.max_machine_factor)
+        if failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("telemetry gate: OK")
     if ran_gate and args.current is None:
         return
     if args.current is None or args.baseline is None:
         parser.error("current and baseline are required unless "
                      "--query-amortization, --windows, --federation, "
-                     "--linklayer, --accuracy or --scaling is given")
+                     "--linklayer, --accuracy, --scaling or --telemetry "
+                     "is given")
 
     current, cur_doc = load_metrics(args.current)
     baseline, _ = load_metrics(args.baseline)
